@@ -1,0 +1,632 @@
+//! Multi-query optimization for joint backtesting (§4.4).
+//!
+//! "We associate each tuple with a set of tags … we update all the rules
+//! such that the tag of the head is the intersection of the tags in the
+//! body. Then, for each repair candidate, we create a new tag and add
+//! copies of all the rules the repair candidate modifies, but we restrict
+//! them to this particular tag."
+//!
+//! [`build_tagged_program`] performs exactly this transformation, including
+//! the coalescing optimization (syntactically identical candidate rules
+//! share one variant with a merged tag mask). [`mqo_replay`] then replays
+//! the workload **once**: per-candidate flow tables fork only where
+//! decisions diverge, and controller evaluation is shared across every
+//! candidate whose tag reaches the same PacketIn.
+//!
+//! Scope: the tagged evaluator covers the insert-only, aggregate-free
+//! fragment that SDN controller programs written against a `PacketIn` →
+//! `FlowTable`/`PacketOut` codec use. Deletions and aggregates fall back to
+//! sequential replay ([`mqo_supported`] reports applicability). Derived
+//! output tables are not re-joined, so set-vs-replacement semantics cannot
+//! diverge from the sequential engine.
+
+use crate::replay::{BacktestSetup, ReplayOutcome};
+use mpr_ndlog::eval::{CountingFuncs, Env};
+use mpr_ndlog::{Program, Rule, Tuple};
+use mpr_runtime::engine::{instantiate, match_atom};
+use mpr_sdn::controller::{CtrlMsg, PacketInMsg};
+use mpr_sdn::flowtable::{Action, FlowTable};
+use mpr_sdn::packet::Packet;
+use mpr_sdn::sim::SimStats;
+use mpr_sdn::topology::NodeRef;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A set of candidate tags (bit i = candidate i). At most 64 candidates
+/// per joint backtest — far above the paper's 9–13.
+pub type TagSet = u64;
+
+/// One rule variant in the backtesting program.
+#[derive(Debug, Clone)]
+pub struct TaggedVariant {
+    /// The rule (shared original, or a candidate's modified copy).
+    pub rule: Rule,
+    /// Which candidates this variant runs for.
+    pub mask: TagSet,
+}
+
+/// The backtesting program of §4.4.
+#[derive(Debug, Clone)]
+pub struct TaggedProgram {
+    /// Variants, in base-program rule order (candidate copies follow their
+    /// original).
+    pub variants: Vec<TaggedVariant>,
+    /// Number of candidates.
+    pub n: usize,
+    /// How many candidate rule copies were merged by coalescing.
+    pub coalesced: usize,
+}
+
+/// Can this program be backtested by the tagged evaluator?
+pub fn mqo_supported(program: &Program) -> bool {
+    program.rules.iter().all(|r| !r.is_aggregate())
+}
+
+/// Build the backtesting program for `candidates` (each a fully patched
+/// program derived from `base`).
+pub fn build_tagged_program(base: &Program, candidates: &[Program]) -> TaggedProgram {
+    assert!(candidates.len() <= 64, "at most 64 candidates per joint backtest");
+    let full: TagSet = if candidates.is_empty() {
+        0
+    } else {
+        (!0u64) >> (64 - candidates.len())
+    };
+    let mut variants: Vec<TaggedVariant> = Vec::new();
+    let mut coalesced = 0;
+    for rule in &base.rules {
+        // Candidates that kept this rule verbatim share the original.
+        let mut shared: TagSet = 0;
+        // Candidates that modified it get copies — coalesced when equal.
+        let mut copies: Vec<(Rule, TagSet)> = Vec::new();
+        for (i, cand) in candidates.iter().enumerate() {
+            let bit = 1u64 << i;
+            match cand.rule(&rule.id) {
+                Some(r) if r == rule => shared |= bit,
+                Some(r) => {
+                    if let Some((_, mask)) = copies.iter_mut().find(|(cr, _)| cr == r) {
+                        *mask |= bit;
+                        coalesced += 1;
+                    } else {
+                        copies.push((r.clone(), bit));
+                    }
+                }
+                None => {} // deleted in this candidate
+            }
+        }
+        if shared != 0 || candidates.is_empty() {
+            variants.push(TaggedVariant {
+                rule: rule.clone(),
+                mask: if candidates.is_empty() { full } else { shared },
+            });
+        }
+        for (r, mask) in copies {
+            variants.push(TaggedVariant { rule: r, mask });
+        }
+    }
+    // Rules added by candidates (ids not present in the base program).
+    let mut added: Vec<(Rule, TagSet)> = Vec::new();
+    for (i, cand) in candidates.iter().enumerate() {
+        let bit = 1u64 << i;
+        for r in &cand.rules {
+            if base.rule(&r.id).is_none() {
+                if let Some((_, mask)) = added.iter_mut().find(|(ar, _)| ar == r) {
+                    *mask |= bit;
+                    coalesced += 1;
+                } else {
+                    added.push((r.clone(), bit));
+                }
+            }
+        }
+    }
+    for (r, mask) in added {
+        variants.push(TaggedVariant { rule: r, mask });
+    }
+    TaggedProgram { variants, n: candidates.len(), coalesced }
+}
+
+/// Tagged controller state: tuples annotated with the candidates they
+/// exist for.
+struct TaggedEngine<'a> {
+    program: &'a TaggedProgram,
+    codec: &'a mpr_sdn::controller::TupleCodec,
+    /// table → [(tuple, tags)]
+    state: HashMap<String, Vec<(Tuple, TagSet)>>,
+    funcs: CountingFuncs,
+}
+
+impl<'a> TaggedEngine<'a> {
+    fn new(
+        program: &'a TaggedProgram,
+        codec: &'a mpr_sdn::controller::TupleCodec,
+        seeds: &[Tuple],
+        full: TagSet,
+    ) -> Self {
+        let mut state: HashMap<String, Vec<(Tuple, TagSet)>> = HashMap::new();
+        for s in seeds {
+            state.entry(s.table.clone()).or_default().push((s.clone(), full));
+        }
+        TaggedEngine { program, codec, state, funcs: CountingFuncs::starting_at(1000) }
+    }
+
+    /// Insert a state tuple for `tags`; returns the tag bits that are new.
+    fn insert_state(&mut self, t: &Tuple, tags: TagSet) -> TagSet {
+        let entry = self.state.entry(t.table.clone()).or_default();
+        if let Some((_, existing)) = entry.iter_mut().find(|(et, _)| et == t) {
+            let fresh = tags & !*existing;
+            *existing |= tags;
+            fresh
+        } else {
+            entry.push((t.clone(), tags));
+            tags
+        }
+    }
+
+    /// Evaluate the tagged program on one PacketIn under `tags`. Returns
+    /// control messages with the tag sets they apply to.
+    fn on_packet_in(&mut self, msg: &PacketInMsg, tags: TagSet) -> Vec<(CtrlMsg, TagSet)> {
+        let mut out = Vec::new();
+        let event = self.codec.packet_in_tuple(msg);
+        let mut queue: VecDeque<(Tuple, TagSet)> = VecDeque::new();
+        queue.push_back((event.clone(), tags));
+        let mut guard = 0u32;
+        while let Some((delta, dtags)) = queue.pop_front() {
+            guard += 1;
+            if guard > 100_000 {
+                break; // runaway guard; candidate is hopeless anyway
+            }
+            for vi in 0..self.program.variants.len() {
+                let active = self.program.variants[vi].mask & dtags;
+                if active == 0 {
+                    continue;
+                }
+                let heads = {
+                    let variant = &self.program.variants[vi];
+                    fire_variant(variant, &delta, active, &self.state, &mut self.funcs)
+                };
+                for (head, htags) in heads {
+                    if let Some(cm) = self.codec.decode(&head, msg) {
+                        out.push((cm, htags));
+                        continue;
+                    }
+                    if head.table == self.codec.packet_in_table {
+                        continue;
+                    }
+                    // Derived controller state: store and propagate.
+                    let fresh = self.insert_state(&head, htags);
+                    if fresh != 0 {
+                        queue.push_back((head, fresh));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Join one variant against the delta plus the tagged state.
+fn fire_variant(
+    variant: &TaggedVariant,
+    delta: &Tuple,
+    active: TagSet,
+    state: &HashMap<String, Vec<(Tuple, TagSet)>>,
+    funcs: &mut CountingFuncs,
+) -> Vec<(Tuple, TagSet)> {
+    let rule = &variant.rule;
+    let mut out = Vec::new();
+    for (di, datom) in rule.body.iter().enumerate() {
+        if datom.table != delta.table {
+            continue;
+        }
+        let Some(env0) = match_atom(datom, delta, &Env::new()) else {
+            continue;
+        };
+        // Join remaining atoms against the tagged store.
+        let mut partial: Vec<(Env, TagSet)> = vec![(env0, active)];
+        for (ai, atom) in rule.body.iter().enumerate() {
+            if ai == di {
+                continue;
+            }
+            let empty = Vec::new();
+            let cands = state.get(&atom.table).unwrap_or(&empty);
+            let mut next = Vec::new();
+            for (env, tags) in &partial {
+                for (t, ttags) in cands {
+                    let joint = tags & ttags;
+                    if joint == 0 {
+                        continue;
+                    }
+                    if let Some(e2) = match_atom(atom, t, env) {
+                        next.push((e2, joint));
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        'envs: for (mut env, tags) in partial {
+            for a in &rule.assigns {
+                let Ok(v) = a.expr.eval(&env, funcs) else {
+                    continue 'envs;
+                };
+                match env.get(&a.var) {
+                    Some(existing) if existing != &v => continue 'envs,
+                    _ => {
+                        env.insert(a.var.clone(), v);
+                    }
+                }
+            }
+            for s in &rule.sels {
+                match s.eval(&env, funcs) {
+                    Ok(true) => {}
+                    _ => continue 'envs,
+                }
+            }
+            if let Some(head) = instantiate(&rule.head, &env) {
+                out.push((head, tags));
+            }
+        }
+    }
+    out
+}
+
+/// Per-candidate extra flow entries ("manual install" repairs).
+pub type ExtraFlows = Vec<(i64, mpr_sdn::flowtable::FlowEntry)>;
+
+/// Jointly replay the workload for every candidate. Returns one
+/// [`ReplayOutcome`] per candidate, index-aligned.
+pub fn mqo_replay(
+    setup: &BacktestSetup,
+    base: &Program,
+    candidates: &[Program],
+    extra_flows: &[ExtraFlows],
+) -> Vec<ReplayOutcome> {
+    let n = candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let full: TagSet = (!0u64) >> (64 - n);
+    let tagged = build_tagged_program(base, candidates);
+    let mut engine = TaggedEngine::new(&tagged, &setup.codec, &setup.seeds, full);
+
+    // Per-candidate network state.
+    let mut tables: Vec<BTreeMap<i64, FlowTable>> = vec![BTreeMap::new(); n];
+    let mut stats: Vec<SimStats> = vec![SimStats::default(); n];
+    for (ti, t) in tables.iter_mut().enumerate() {
+        for s in &setup.topology.switches {
+            t.insert(*s, FlowTable::new());
+        }
+        if setup.proactive_routes {
+            for h in setup.topology.hosts.iter().copied().collect::<Vec<_>>() {
+                for (sw, port) in setup.topology.routes_to(h) {
+                    t.get_mut(&sw).unwrap().install(mpr_sdn::flowtable::FlowEntry::new(
+                        1,
+                        mpr_sdn::flowtable::Match::any().with(mpr_sdn::packet::Field::DstIp, h),
+                        vec![Action::Output(port)],
+                    ));
+                }
+            }
+        }
+        if let Some(extra) = extra_flows.get(ti) {
+            for (sw, e) in extra {
+                if let Some(ft) = t.get_mut(sw) {
+                    ft.install(e.clone());
+                }
+            }
+        }
+    }
+
+    // Replay: forward per tag, share controller evaluation across tags.
+    for (src, pkt) in &setup.workload {
+        let Some((sw0, port0)) = setup.topology.host_attachment(*src) else {
+            continue;
+        };
+        // Frontier per tag: (switch, in_port, packet, hops) — packets can
+        // diverge across candidates after Modify actions.
+        #[derive(Clone)]
+        struct Flight {
+            at: NodeRef,
+            port: i64,
+            pkt: Packet,
+            hops: u32,
+        }
+        let mut flights: Vec<Vec<Flight>> = vec![
+            vec![Flight { at: NodeRef::Switch(sw0), port: port0, pkt: pkt.clone(), hops: 0 }];
+            n
+        ];
+        for s in stats.iter_mut() {
+            s.injected += 1;
+        }
+        loop {
+            // Collect punts (switch, in_port, packet) → tagset, process
+            // shared; everything else advances one hop.
+            let mut punts: Vec<((i64, i64, Packet), TagSet)> = Vec::new();
+            let mut next: Vec<Vec<Flight>> = vec![Vec::new(); n];
+            let mut any = false;
+            for (tag, fl) in flights.iter().enumerate() {
+                for f in fl {
+                    any = true;
+                    match f.at {
+                        NodeRef::Host(h) => {
+                            if f.pkt.dst_ip == h {
+                                *stats[tag].delivered.entry(h).or_insert(0) += 1;
+                                *stats[tag]
+                                    .delivered_by_port
+                                    .entry((h, f.pkt.dst_port))
+                                    .or_insert(0) += 1;
+                            } else {
+                                stats[tag].misdelivered += 1;
+                            }
+                        }
+                        NodeRef::Switch(s) => {
+                            if f.hops >= setup.config.max_hops {
+                                stats[tag].dropped_ttl += 1;
+                                continue;
+                            }
+                            stats[tag].hops += 1;
+                            let hit =
+                                tables[tag].get(&s).and_then(|t| t.lookup(&f.pkt, f.port)).cloned();
+                            match hit {
+                                Some(e) => {
+                                    let mut p = f.pkt.clone();
+                                    let mut emitted = false;
+                                    for a in &e.actions {
+                                        match a {
+                                            Action::Modify(field, v) => p.set_field(*field, *v),
+                                            Action::Output(op) => {
+                                                if let Some((peer, pp)) =
+                                                    setup.topology.peer(NodeRef::Switch(s), *op)
+                                                {
+                                                    next[tag].push(Flight {
+                                                        at: peer,
+                                                        port: pp,
+                                                        pkt: p.clone(),
+                                                        hops: f.hops + 1,
+                                                    });
+                                                }
+                                                emitted = true;
+                                            }
+                                            Action::Flood => {
+                                                for op in setup.topology.ports(NodeRef::Switch(s)) {
+                                                    if op != f.port {
+                                                        if let Some((peer, pp)) = setup
+                                                            .topology
+                                                            .peer(NodeRef::Switch(s), op)
+                                                        {
+                                                            next[tag].push(Flight {
+                                                                at: peer,
+                                                                port: pp,
+                                                                pkt: p.clone(),
+                                                                hops: f.hops + 1,
+                                                            });
+                                                        }
+                                                    }
+                                                }
+                                                emitted = true;
+                                            }
+                                            Action::Drop => {
+                                                stats[tag].dropped_policy += 1;
+                                                emitted = true;
+                                                break;
+                                            }
+                                            Action::Controller => {}
+                                        }
+                                    }
+                                    if !emitted {
+                                        stats[tag].dropped_policy += 1;
+                                    }
+                                }
+                                None => {
+                                    // Punt: group identical PacketIns.
+                                    let key = (s, f.port, f.pkt.clone());
+                                    let bit = 1u64 << tag;
+                                    if let Some((_, ts)) =
+                                        punts.iter_mut().find(|(k, _)| *k == key)
+                                    {
+                                        *ts |= bit;
+                                    } else {
+                                        punts.push((key, bit));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Shared controller evaluation per distinct punt.
+            for ((s, port, p), ts) in punts {
+                let msg = PacketInMsg { switch: s, in_port: port, packet: p };
+                for t in 0..n {
+                    if ts & (1 << t) != 0 {
+                        stats[t].packet_ins += 1;
+                    }
+                }
+                let replies = engine.on_packet_in(&msg, ts);
+                let mut released: TagSet = 0;
+                for (cm, ctags) in replies {
+                    match cm {
+                        CtrlMsg::FlowMod { switch, entry } => {
+                            for t in 0..n {
+                                if ctags & (1 << t) != 0 {
+                                    stats[t].flow_mods += 1;
+                                    if let Some(ft) = tables[t].get_mut(&switch) {
+                                        ft.install(entry.clone());
+                                    }
+                                }
+                            }
+                        }
+                        CtrlMsg::PacketOut { switch, packet, action } => {
+                            released |= ctags;
+                            for t in 0..n {
+                                if ctags & (1 << t) != 0 {
+                                    stats[t].packet_outs += 1;
+                                    if let Action::Output(op) = action {
+                                        if let Some((peer, pp)) =
+                                            setup.topology.peer(NodeRef::Switch(switch), op)
+                                        {
+                                            next[t].push(Flight {
+                                                at: peer,
+                                                port: pp,
+                                                pkt: packet.clone(),
+                                                hops: 1,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let unreleased = ts & !released;
+                for t in 0..n {
+                    if unreleased & (1 << t) != 0 {
+                        stats[t].dropped_buffered += 1;
+                    }
+                }
+            }
+            flights = next;
+            if !any {
+                break;
+            }
+        }
+    }
+    stats
+        .into_iter()
+        .map(|s| ReplayOutcome { delivered: s.delivered.clone(), stats: s })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{replay, BacktestSetup};
+    use mpr_ndlog::patch::{Edit, Patch};
+    use mpr_ndlog::{parse_program, ConstSite, ExprSide, Value};
+    use mpr_sdn::controller::TupleCodec;
+    use mpr_sdn::sim::SimConfig;
+    use mpr_sdn::topology::{fig1, fig1_hosts};
+
+    fn fig2_program() -> Program {
+        parse_program(
+            "fig2",
+            r"
+            materialize(PacketIn, event, 2, keys()).
+            materialize(FlowTable, infinity, 2, keys(0)).
+            r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr == 80, Prt := 2.
+            r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+            r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 2.
+            ",
+        )
+        .unwrap()
+    }
+
+    fn setup() -> BacktestSetup {
+        let workload = (0..30)
+            .map(|i| {
+                (
+                    fig1_hosts::INTERNET,
+                    mpr_sdn::packet::Packet::http(i, 50 + (i as i64 % 3), fig1_hosts::H2),
+                )
+            })
+            .collect();
+        BacktestSetup {
+            topology: fig1(),
+            codec: TupleCodec::fig2(),
+            seeds: vec![],
+            workload,
+            config: SimConfig::default(),
+            proactive_routes: false,
+        }
+    }
+
+    fn candidates(base: &Program) -> Vec<Program> {
+        // Candidate 0: r7 Swi==2 → Swi==3 (the intuitive fix).
+        // Candidate 1: r7 Swi==2 → Swi!=2.
+        // Candidate 2: identical to candidate 0 (coalescing test).
+        let c0 = Patch::single(Edit::SetConst {
+            rule: "r7".into(),
+            site: ConstSite::Selection { idx: 0, side: ExprSide::Rhs, path: vec![] },
+            value: Value::Int(3),
+        })
+        .apply(base)
+        .unwrap();
+        let c1 = Patch::single(Edit::SetSelectionOp {
+            rule: "r7".into(),
+            sel: 0,
+            op: mpr_ndlog::CmpOp::Ne,
+        })
+        .apply(base)
+        .unwrap();
+        vec![c0.clone(), c1, c0]
+    }
+
+    #[test]
+    fn tagged_program_structure_and_coalescing() {
+        let base = fig2_program();
+        let cands = candidates(&base);
+        let tp = build_tagged_program(&base, &cands);
+        // r1, r5 shared by all three tags; r7 has a shared-none original
+        // (no candidate keeps it) — so: r1(111), r5(111), r7-copy-a(101),
+        // r7-copy-b(010).
+        assert_eq!(tp.n, 3);
+        assert_eq!(tp.coalesced, 1);
+        let masks: Vec<TagSet> = tp.variants.iter().map(|v| v.mask).collect();
+        assert!(masks.contains(&0b111));
+        assert!(masks.contains(&0b101));
+        assert!(masks.contains(&0b010));
+        // No variant for the unmodified r7 (every candidate changed it).
+        let r7_shared = tp
+            .variants
+            .iter()
+            .any(|v| v.rule.id == "r7" && v.mask == 0b111 && v.rule == *base.rule("r7").unwrap());
+        assert!(!r7_shared);
+    }
+
+    #[test]
+    fn mqo_matches_sequential_per_candidate() {
+        let base = fig2_program();
+        let cands = candidates(&base);
+        let setup = setup();
+        let joint = mqo_replay(&setup, &base, &cands, &[]);
+        assert_eq!(joint.len(), 3);
+        for (i, cand) in cands.iter().enumerate() {
+            let solo = replay(&setup, cand).unwrap();
+            assert_eq!(
+                joint[i].delivered, solo.delivered,
+                "candidate {i} diverges: joint={:?} solo={:?}",
+                joint[i].delivered, solo.delivered
+            );
+            assert_eq!(joint[i].stats.packet_ins, solo.stats.packet_ins, "candidate {i} punts");
+        }
+    }
+
+    #[test]
+    fn mqo_supported_detects_aggregates() {
+        assert!(mqo_supported(&fig2_program()));
+        let agg = parse_program("agg", "r1 B(@N,a_count<X>) :- A(@N,X).").unwrap();
+        assert!(!mqo_supported(&agg));
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let base = fig2_program();
+        assert!(mqo_replay(&setup(), &base, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn extra_flows_are_per_candidate() {
+        use mpr_sdn::flowtable::{FlowEntry, Match};
+        use mpr_sdn::packet::Field;
+        let base = fig2_program();
+        let cands = vec![base.clone(), base.clone()];
+        // Candidate 1 gets a manual entry at S3 → H2 (port 2) plus S1→S3.
+        let manual = vec![
+            (1i64, FlowEntry::new(50, Match::any().with(Field::DstPort, 80), vec![Action::Output(2)])),
+            (3i64, FlowEntry::new(50, Match::any().with(Field::DstPort, 80), vec![Action::Output(2)])),
+        ];
+        let joint = mqo_replay(&setup(), &base, &cands, &[Vec::new(), manual]);
+        let h2 = fig1_hosts::H2;
+        assert_eq!(joint[0].delivered.get(&h2).copied().unwrap_or(0), 0);
+        assert!(joint[1].delivered.get(&h2).copied().unwrap_or(0) > 0);
+    }
+}

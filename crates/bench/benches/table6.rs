@@ -1,0 +1,22 @@
+//! Table 6 (Appendix E): candidate repairs for Q2-Q5 with KS statistics.
+
+use mpr_bench::{candidate_listing, header, report_json, write_artifact};
+use mpr_core::debugger::repair_scenario;
+use mpr_core::scenarios::Scenario;
+
+fn main() {
+    let mut artifacts = Vec::new();
+    for scenario in Scenario::all().into_iter().skip(1) {
+        let report = repair_scenario(&scenario);
+        header(&format!(
+            "Table 6 ({}): {} — {} generated / {} accepted",
+            report.scenario,
+            report.query,
+            report.generated(),
+            report.accepted_count()
+        ));
+        print!("{}", candidate_listing(&report));
+        artifacts.push(report_json(&report));
+    }
+    write_artifact("table6", &serde_json::json!({ "scenarios": artifacts }));
+}

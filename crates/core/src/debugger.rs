@@ -1,0 +1,499 @@
+//! The debugger: the operator-facing loop of §2 — run the buggy network,
+//! take a symptom query, generate candidate repairs from meta provenance,
+//! backtest them, and return a ranked list.
+//!
+//! Phase timings mirror the Fig. 9a breakdown: **history lookups**
+//! (scanning the log for triggers and state), **constraint solving**
+//! (inside the explorer), **patch generation** (the rest of the explorer),
+//! and **replay** (the buggy baseline plus candidate backtests).
+
+use crate::explore::{generate_existing, generate_missing, DerivationRecord, World};
+use crate::repair::{Candidate, Repair};
+use crate::scenarios::{Scenario, Symptom};
+use mpr_backtest::ks::{ks_two_sample, KsResult};
+use mpr_backtest::mqo::{mqo_replay, mqo_supported, ExtraFlows};
+use mpr_backtest::replay::{replay_with_extra_flows, BacktestSetup, ReplayOutcome};
+use mpr_ndlog::{Program, Tuple};
+use mpr_runtime::{Options as EngineOptions, TupleKind};
+use mpr_sdn::controller::{NdlogController, TupleCodec};
+use mpr_sdn::flowtable::{Action, FlowEntry, Match};
+use mpr_sdn::sim::Simulation;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Fig. 9a phase breakdown.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Scanning the history/log for triggers and controller state.
+    pub history_lookups: Duration,
+    /// Constraint solving inside the explorer.
+    pub constraint_solving: Duration,
+    /// Candidate construction (explorer minus solving).
+    pub patch_generation: Duration,
+    /// Baseline + candidate replay.
+    pub replay: Duration,
+}
+
+impl PhaseTimings {
+    /// Total turnaround.
+    pub fn total(&self) -> Duration {
+        self.history_lookups + self.constraint_solving + self.patch_generation + self.replay
+    }
+}
+
+/// One backtested candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateOutcome {
+    /// The candidate.
+    pub candidate: Candidate,
+    /// Did it fix the problem at hand?
+    pub effective: bool,
+    /// KS test against the original distribution.
+    pub ks: KsResult,
+    /// Effective and statistically harmless.
+    pub accepted: bool,
+}
+
+/// The debugger's answer.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Scenario id.
+    pub scenario: String,
+    /// The operator's query.
+    pub query: String,
+    /// All generated candidates with their backtest outcomes, cheapest
+    /// first.
+    pub outcomes: Vec<CandidateOutcome>,
+    /// Indices of accepted candidates (into `outcomes`), in presentation
+    /// order (complexity, then side-effect size).
+    pub accepted: Vec<usize>,
+    /// Phase breakdown.
+    pub timings: PhaseTimings,
+    /// The buggy network's distribution (the KS baseline).
+    pub baseline: ReplayOutcome,
+    /// Explorer counters.
+    pub trees: u64,
+    /// Explorer counters.
+    pub pools_solved: u64,
+}
+
+impl RepairReport {
+    /// Number of candidates generated (the first number in Table 1).
+    pub fn generated(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of accepted candidates (the second number in Table 1).
+    pub fn accepted_count(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Render a Table 2 style listing.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let letter = (b'A' + (i as u8 % 26)) as char;
+            out.push_str(&format!(
+                "{letter} {:60} ({}) KS={:.5}\n",
+                o.candidate.description,
+                if o.accepted { "accepted" } else if o.effective { "rejected: side effects" } else { "rejected: ineffective" },
+                o.ks.d
+            ));
+        }
+        out
+    }
+}
+
+/// The debugger.
+pub struct Debugger {
+    scenario: Scenario,
+    /// Use the §4.4 multi-query optimizer for joint backtesting.
+    pub use_mqo: bool,
+}
+
+impl Debugger {
+    /// Build a debugger for a scenario.
+    pub fn for_scenario(scenario: &Scenario) -> Debugger {
+        Debugger { scenario: scenario.clone(), use_mqo: true }
+    }
+
+    fn setup(&self) -> BacktestSetup {
+        BacktestSetup {
+            topology: self.scenario.topology.clone(),
+            codec: self.scenario.codec.clone(),
+            seeds: self.scenario.seeds.clone(),
+            workload: self.scenario.workload.clone(),
+            config: self.scenario.sim.clone(),
+            proactive_routes: false,
+        }
+    }
+
+    /// Run the buggy program once with full provenance, extracting the
+    /// explorer's [`World`] (triggers + controller state) and the baseline
+    /// distribution.
+    pub fn observe(&self) -> Result<(World, ReplayOutcome, Duration, Duration), String> {
+        let t_replay = Instant::now();
+        let mut ctrl = NdlogController::with_options(
+            self.scenario.program.clone(),
+            self.scenario.codec.clone(),
+            EngineOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        ctrl.seed(self.scenario.seeds.clone()).map_err(|e| e.to_string())?;
+        let mut sim = Simulation::new(self.scenario.topology.clone(), ctrl, self.scenario.sim.clone());
+        for (src, pkt) in &self.scenario.workload {
+            sim.inject(*src, pkt.clone());
+            sim.run();
+        }
+        let replay_time = t_replay.elapsed();
+
+        // History lookups: distill distinct triggers and live state from
+        // the execution log.
+        let t_hist = Instant::now();
+        let mut triggers: BTreeSet<Tuple> = BTreeSet::new();
+        for (_, msg) in &sim.packet_in_log {
+            triggers.insert(self.scenario.codec.packet_in_tuple(msg));
+        }
+        let ctrl = sim.controller();
+        let mut state: Vec<Tuple> = self.scenario.seeds.clone();
+        let log = ctrl.exec_log();
+        for rec in &log.tuples {
+            if rec.disappear.is_none()
+                && rec.kind != TupleKind::Event
+                && rec.tuple.table != self.scenario.codec.flow_table
+            {
+                if !state.contains(&rec.tuple) {
+                    state.push(rec.tuple.clone());
+                }
+            }
+        }
+        let history_time = t_hist.elapsed();
+
+        let world = World {
+            program: self.scenario.program.clone(),
+            triggers: triggers.into_iter().collect(),
+            state,
+            cost: self.scenario.cost,
+            budget: self.scenario.budget,
+        };
+        let baseline = ReplayOutcome {
+            delivered: sim.stats.delivered.clone(),
+            stats: sim.stats.clone(),
+        };
+        Ok((world, baseline, replay_time, history_time))
+    }
+
+    /// The full §2 loop: diagnose, generate, backtest, rank.
+    pub fn diagnose_and_repair(&mut self) -> RepairReport {
+        let (world, baseline, mut replay_time, history_time) =
+            self.observe().expect("scenario must run");
+
+        // --- candidate generation -------------------------------------
+        let t_gen = Instant::now();
+        let (candidates, stats) = match &self.scenario.symptom {
+            Symptom::Missing(pattern) => generate_missing(&world, pattern),
+            Symptom::Existing(tuple) => {
+                let records = derivations_from_world(&world, tuple);
+                generate_existing(&world, tuple, &records)
+            }
+        };
+        let candidates: Vec<Candidate> = if self.scenario.op_repairs {
+            candidates
+        } else {
+            // Pyretic's `match` is equality-only (§5.8): operator
+            // mutations are not expressible repairs in this language.
+            candidates
+                .into_iter()
+                .filter(|c| match &c.repair {
+                    Repair::Patch(p) => !p
+                        .edits
+                        .iter()
+                        .any(|e| matches!(e, mpr_ndlog::patch::Edit::SetSelectionOp { .. })),
+                    _ => true,
+                })
+                .collect()
+        };
+        let gen_total = t_gen.elapsed();
+        let solving = Duration::from_nanos(stats.solver_ns.min(u64::MAX as u128) as u64);
+        let patch_generation = gen_total.saturating_sub(solving);
+
+        // --- backtesting ------------------------------------------------
+        let t_back = Instant::now();
+        let setup = self.setup();
+        let outcomes_raw = self.backtest(&setup, &candidates);
+        replay_time += t_back.elapsed();
+
+        let alpha = 0.05;
+        let mut outcomes: Vec<CandidateOutcome> = Vec::new();
+        for (cand, outcome) in candidates.into_iter().zip(outcomes_raw.into_iter()) {
+            match outcome {
+                Some(out) => {
+                    let effective = self.scenario.effect.holds(&out.stats);
+                    let ks = ks_two_sample(&baseline.delivered, &out.delivered, alpha);
+                    // §4.3: operators can add metrics beyond the traffic
+                    // distribution; Table 6c rejects Q4 candidates for
+                    // "significant increases of controller traffic".
+                    let controller_ok =
+                        out.stats.packet_ins <= baseline.stats.packet_ins * 3 + 10;
+                    let accepted = effective && ks.accepted() && controller_ok;
+                    outcomes.push(CandidateOutcome { candidate: cand, effective, ks, accepted });
+                }
+                None => {
+                    let ks = ks_two_sample(&baseline.delivered, &baseline.delivered, alpha);
+                    outcomes.push(CandidateOutcome {
+                        candidate: cand,
+                        effective: false,
+                        ks,
+                        accepted: false,
+                    });
+                }
+            }
+        }
+        // Presentation order: complexity (cost) first, then side-effect
+        // size (§4.3: "the metrics can be used to rank the repairs").
+        let mut accepted: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.accepted)
+            .map(|(i, _)| i)
+            .collect();
+        accepted.sort_by(|&a, &b| {
+            outcomes[a]
+                .candidate
+                .cost
+                .cmp(&outcomes[b].candidate.cost)
+                .then(outcomes[a].ks.d.partial_cmp(&outcomes[b].ks.d).unwrap_or(std::cmp::Ordering::Equal))
+        });
+
+        RepairReport {
+            scenario: self.scenario.id.clone(),
+            query: self.scenario.query.clone(),
+            outcomes,
+            accepted,
+            timings: PhaseTimings {
+                history_lookups: history_time,
+                constraint_solving: solving,
+                patch_generation,
+                replay: replay_time,
+            },
+            baseline,
+            trees: stats.trees,
+            pools_solved: stats.pools_solved,
+        }
+    }
+
+    /// Backtest every candidate; `None` marks candidates whose patched
+    /// program failed to compile (they are reported as ineffective).
+    fn backtest(
+        &self,
+        setup: &BacktestSetup,
+        candidates: &[Candidate],
+    ) -> Vec<Option<ReplayOutcome>> {
+        // Materialize per-candidate programs, seeds and manual flow entries.
+        let mut programs: Vec<Option<Program>> = Vec::new();
+        let mut extra: Vec<ExtraFlows> = Vec::new();
+        let mut seed_sets: Vec<Vec<Tuple>> = Vec::new();
+        for c in candidates {
+            let mut seeds = setup.seeds.clone();
+            let mut flows: ExtraFlows = Vec::new();
+            match &c.repair {
+                Repair::InsertTuple(t)
+                    if t.table == setup.codec.flow_table
+                        || Some(&t.table) == setup.codec.packet_out_table.as_ref() =>
+                {
+                    if let Some(f) = manual_flow_entry(&setup.codec, t) {
+                        flows.push(f);
+                    }
+                }
+                other => other.adjust_seeds(&mut seeds),
+            }
+            programs.push(c.repair.apply(&self.scenario.program).ok());
+            extra.push(flows);
+            seed_sets.push(seeds);
+        }
+        // Joint MQO path requires identical seeds across candidates; fall
+        // back to sequential when any candidate perturbs seeds.
+        let uniform_seeds = seed_sets.iter().all(|s| s == &setup.seeds);
+        let all_compiled: Option<Vec<Program>> = programs.iter().cloned().collect();
+        if self.use_mqo && uniform_seeds && candidates.len() <= 64 {
+            if let Some(progs) = all_compiled {
+                if progs.iter().all(mqo_supported) {
+                    let outs = mqo_replay(setup, &self.scenario.program, &progs, &extra);
+                    return outs.into_iter().map(Some).collect();
+                }
+            }
+        }
+        // Sequential fallback.
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let program = programs[i].clone()?;
+                let mut s = setup.clone();
+                s.seeds = seed_sets[i].clone();
+                replay_with_extra_flows(&s, &program, &extra[i]).ok()
+            })
+            .collect()
+    }
+}
+
+/// Convert a manually inserted `FlowTable`/`PacketOut` tuple into a
+/// pre-installed flow entry (priority 50, above reactive entries).
+fn manual_flow_entry(codec: &TupleCodec, t: &Tuple) -> Option<(i64, FlowEntry)> {
+    let switch = t.loc.as_int()?;
+    if t.args.len() != codec.flow_match_args.len() + 1 {
+        return None;
+    }
+    let mut m = Match::any();
+    for (spec, v) in codec.flow_match_args.iter().zip(t.args.iter()) {
+        let v = v.as_int()?;
+        match spec {
+            mpr_sdn::controller::PktArg::Field(f) => m = m.with(*f, v),
+            mpr_sdn::controller::PktArg::InPort => m = m.on_port(v),
+        }
+    }
+    let port = t.args.last()?.as_int()?;
+    let actions = if port < 0 { vec![Action::Drop] } else { vec![Action::Output(port)] };
+    Some((switch, FlowEntry::new(50, m, actions)))
+}
+
+/// Reconstruct derivation records for an existing tuple from a fresh run
+/// of the world (positive symptoms).
+fn derivations_from_world(world: &World, culprit: &Tuple) -> Vec<DerivationRecord> {
+    // Re-run the program over triggers + state with full provenance and
+    // collect the derivations of the culprit.
+    let mut program = world.program.clone();
+    let _ = &mut program;
+    let Ok(mut engine) = mpr_runtime::Engine::new(&world.program) else {
+        return Vec::new();
+    };
+    for t in &world.state {
+        let _ = engine.insert(t.clone());
+    }
+    for t in &world.triggers {
+        let _ = engine.insert(t.clone());
+    }
+    let log = engine.log();
+    let mut records = Vec::new();
+    for rec in &log.tuples {
+        if &rec.tuple != culprit {
+            continue;
+        }
+        for ev in log.derivations_of(rec.tid) {
+            if let mpr_runtime::ExecEvent::Derive { rule, body, .. } = ev {
+                let body_tuples: Vec<Tuple> =
+                    body.iter().map(|&b| log.record(b).tuple.clone()).collect();
+                let base_mask: Vec<bool> = body
+                    .iter()
+                    .map(|&b| log.record(b).kind == TupleKind::Base)
+                    .collect();
+                records.push(DerivationRecord {
+                    rule: rule.clone(),
+                    body: body_tuples,
+                    base_mask,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Convenience wrapper: scenario in, report out.
+pub fn repair_scenario(scenario: &Scenario) -> RepairReport {
+    Debugger::for_scenario(scenario).diagnose_and_repair()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_ndlog::Value as V;
+
+    #[test]
+    fn q1_produces_paper_shaped_results() {
+        let scenario = Scenario::q1_copy_paste();
+        let report = repair_scenario(&scenario);
+        // A healthy handful of candidates, a small accepted set (Table 1:
+        // 9 generated / 2 accepted).
+        assert!(
+            (5..=16).contains(&report.generated()),
+            "generated {}:\n{}",
+            report.generated(),
+            report.render_table()
+        );
+        assert!(
+            (1..=4).contains(&report.accepted_count()),
+            "accepted {}:\n{}",
+            report.accepted_count(),
+            report.render_table()
+        );
+        // The intuitive fix is generated AND accepted.
+        let reference = report
+            .outcomes
+            .iter()
+            .position(|o| o.candidate.description.contains(&scenario.reference_fix))
+            .expect("reference fix generated");
+        assert!(
+            report.outcomes[reference].accepted,
+            "reference fix rejected:\n{}",
+            report.render_table()
+        );
+        // The manual flow-entry repair is accepted too (Table 2 candidate A).
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| o.candidate.description.contains("Manually installing") && o.accepted));
+        // Over-general repairs (operator flips) are generated but rejected.
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| o.candidate.description.contains("Swi != 2") && !o.accepted));
+    }
+
+    #[test]
+    fn manual_flow_entry_conversion() {
+        let codec = TupleCodec::fig2();
+        let t = Tuple::new("FlowTable", 3i64, vec![V::Int(80), V::Int(2)]);
+        let (sw, entry) = manual_flow_entry(&codec, &t).unwrap();
+        assert_eq!(sw, 3);
+        assert_eq!(entry.actions, vec![Action::Output(2)]);
+        // Drop entries for negative ports.
+        let t = Tuple::new("FlowTable", 3i64, vec![V::Int(80), V::Int(-1)]);
+        let (_, entry) = manual_flow_entry(&codec, &t).unwrap();
+        assert_eq!(entry.actions, vec![Action::Drop]);
+        // Arity mismatch is refused.
+        let t = Tuple::new("FlowTable", 3i64, vec![V::Int(80)]);
+        assert!(manual_flow_entry(&codec, &t).is_none());
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let scenario = Scenario::q1_copy_paste();
+        let report = repair_scenario(&scenario);
+        assert!(report.timings.total() > Duration::ZERO);
+        assert!(report.timings.replay > Duration::ZERO);
+        assert!(report.trees > 0);
+    }
+
+    #[test]
+    fn mqo_and_sequential_agree_on_acceptance() {
+        let scenario = Scenario::q1_copy_paste();
+        let mut d1 = Debugger::for_scenario(&scenario);
+        d1.use_mqo = true;
+        let r1 = d1.diagnose_and_repair();
+        let mut d2 = Debugger::for_scenario(&scenario);
+        d2.use_mqo = false;
+        let r2 = d2.diagnose_and_repair();
+        let a1: Vec<String> = r1
+            .accepted
+            .iter()
+            .map(|&i| r1.outcomes[i].candidate.description.clone())
+            .collect();
+        let a2: Vec<String> = r2
+            .accepted
+            .iter()
+            .map(|&i| r2.outcomes[i].candidate.description.clone())
+            .collect();
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mpr-core — meta provenance and automated repair
+//!
+//! The paper's primary contribution. Classical provenance explains *data*
+//! in terms of data; **meta provenance** (§3) treats the program as just
+//! another kind of data: the syntactic elements of the controller program
+//! become *meta tuples*, the operational semantics of the language become
+//! *meta rules*, and a diagnostic query over the meta program yields a
+//! forest of trees whose completions — once their constraint pools are
+//! satisfiable — are *repair candidates*.
+//!
+//! - [`metamodel`] — the µDlog meta tuples and the Fig. 4 meta program,
+//!   *runnable* on `mpr-runtime` (a differential test pins it against
+//!   direct evaluation);
+//! - [`metafull`] — the arity-generic meta model of Appendix B.1/Table 4,
+//!   expanding template rules per arity and selection count; it interprets
+//!   the five-tuple scenario programs through the meta program;
+//! - [`cost`] — the §3.5 plausibility cost model and search budget;
+//! - [`explore`] — cost-ordered candidate generation for missing tuples
+//!   (§3.3–§3.5) and existing tuples (§4.2, Fig. 5);
+//! - [`repair`] — candidates: program patches, tuple insertions/deletions/
+//!   changes;
+//! - [`debugger`] — the end-to-end loop with backtesting (KS filter, §4.3)
+//!   and multi-query optimization (§4.4), including the Fig. 9a phase
+//!   timings;
+//! - [`scenarios`] — the five §5.3 case studies plus the Fig. 9c / Fig. 10
+//!   scaling helpers.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod debugger;
+pub mod explore;
+pub mod metafull;
+pub mod metamodel;
+pub mod repair;
+pub mod scenarios;
+
+pub use cost::{CostModel, SearchBudget};
+pub use debugger::{repair_scenario, CandidateOutcome, Debugger, PhaseTimings, RepairReport};
+pub use explore::{generate_existing, generate_missing, DerivationRecord, ExploreStats, World};
+pub use repair::{Candidate, Repair};
+pub use scenarios::{Effect, Scenario, Symptom};

@@ -1,0 +1,488 @@
+//! The µDlog meta model (§3.2, Fig. 4) — *runnable*.
+//!
+//! The program is "just another kind of data": [`meta_tuples`] translates a
+//! µDlog-shaped program into program-based meta tuples (`HeadFunc`,
+//! `PredFunc`, `Assign`, `Const`, `Oper`), and [`meta_program`] is the
+//! Fig. 4 meta program written in NDlog, executable on `mpr-runtime`. Base
+//! tuples of the object program become `Base` meta tuples; the meta
+//! program then derives exactly the `Tuple` facts the object program
+//! derives — a property pinned by the differential test below.
+//!
+//! Two documented deviations from the paper's listing:
+//!
+//! 1. `Val := (Val' Opr Val'')` is spelled `Val := f_apply(Opr, Vl, Vr)` —
+//!    our expression grammar keeps operators-as-data in a built-in;
+//! 2. `h2` matches `Sel` join-IDs with `f_match` rather than exact
+//!    unification, so selections over two constants (whose `Expr` tuples
+//!    carry the `*` wildcard JID) participate correctly. The paper's
+//!    `f_match` exists for precisely this wildcard semantics.
+//!
+//! The translator also makes the implicit equijoin of repeated variables
+//! explicit (the reason µDlog rules have *exactly two* selection
+//! predicates): `PacketIn(@C,Swi,Hdr), WebLoadBalancer(@C,Hdr,Prt)`
+//! becomes `...WebLoadBalancer(@C,HdrB,Prt)` plus the selection
+//! `Hdr == HdrB`. Rules with fewer selections are padded with a constant
+//! tautology (`0 == 0`).
+
+use mpr_ndlog::ast::{Expr, Term};
+use mpr_ndlog::{parse_program, Program, Rule, Tuple, Value};
+
+/// Error translating a program into meta tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// Tables must have exactly two payload columns in µDlog.
+    BadArity(String),
+    /// At most two body predicates.
+    TooManyPredicates(String),
+    /// At most two selection predicates (after equijoin expansion).
+    TooManySelections(String),
+    /// Head arguments must be variables.
+    HeadConstant(String),
+    /// Assignments must be to a constant or a variable.
+    ComplexAssign(String),
+    /// Selections must compare variables/constants.
+    ComplexSelection(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::BadArity(r) => write!(f, "rule `{r}`: µDlog tables have 2 columns"),
+            MetaError::TooManyPredicates(r) => write!(f, "rule `{r}`: more than 2 predicates"),
+            MetaError::TooManySelections(r) => write!(f, "rule `{r}`: more than 2 selections"),
+            MetaError::HeadConstant(r) => write!(f, "rule `{r}`: head arguments must be variables"),
+            MetaError::ComplexAssign(r) => write!(f, "rule `{r}`: assignment too complex for µDlog"),
+            MetaError::ComplexSelection(r) => write!(f, "rule `{r}`: selection too complex for µDlog"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+const C: &str = "C";
+
+fn s(x: impl Into<String>) -> Value {
+    Value::Str(x.into())
+}
+
+/// Translate one base tuple of the object program into its `Base` meta
+/// tuple (`h1` feeds on these).
+pub fn base_meta_tuple(t: &Tuple) -> Tuple {
+    Tuple::new(
+        "Base",
+        s(C),
+        vec![s(t.table.clone()), t.args.first().cloned().unwrap_or(Value::Wild), t.args.get(1).cloned().unwrap_or(Value::Wild)],
+    )
+}
+
+/// Translate a µDlog-shaped program into its program-based meta tuples.
+pub fn meta_tuples(program: &Program) -> Result<Vec<Tuple>, MetaError> {
+    let mut out = Vec::new();
+    for rule in &program.rules {
+        rule_meta_tuples(rule, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn rule_meta_tuples(rule: &Rule, out: &mut Vec<Tuple>) -> Result<(), MetaError> {
+    let rid = rule.id.clone();
+    let err_arity = || MetaError::BadArity(rid.clone());
+    if rule.body.len() > 2 {
+        return Err(MetaError::TooManyPredicates(rid.clone()));
+    }
+    // --- body predicates, with equijoin expansion ------------------------
+    // Repeated variables across predicates get renamed in the second
+    // predicate; the equality becomes an explicit selection.
+    let mut preds: Vec<(String, Vec<String>)> = Vec::new();
+    let mut extra_sels: Vec<(String, String)> = Vec::new(); // (var, renamed)
+    let mut seen_vars: Vec<String> = Vec::new();
+    for (pi, atom) in rule.body.iter().enumerate() {
+        if atom.args.len() != 2 {
+            return Err(err_arity());
+        }
+        let mut names = Vec::new();
+        for t in &atom.args {
+            match t {
+                Term::Var(v) => {
+                    if pi > 0 && seen_vars.contains(v) {
+                        let renamed = format!("{v}__b");
+                        extra_sels.push((v.clone(), renamed.clone()));
+                        names.push(renamed);
+                    } else {
+                        seen_vars.push(v.clone());
+                        names.push(v.clone());
+                    }
+                }
+                _ => return Err(MetaError::ComplexSelection(rid.clone())),
+            }
+        }
+        preds.push((atom.table.clone(), names));
+    }
+    for (tab, names) in &preds {
+        out.push(Tuple::new(
+            "PredFunc",
+            s(C),
+            vec![s(rid.clone()), s(tab.clone()), s(names[0].clone()), s(names[1].clone())],
+        ));
+    }
+    // --- head -------------------------------------------------------------
+    if rule.head.args.len() != 2 {
+        return Err(err_arity());
+    }
+    let head_names: Vec<String> = std::iter::once(&rule.head.loc)
+        .chain(rule.head.args.iter())
+        .map(|t| match t {
+            Term::Var(v) => Ok(v.clone()),
+            _ => Err(MetaError::HeadConstant(rid.clone())),
+        })
+        .collect::<Result<_, _>>()?;
+    out.push(Tuple::new(
+        "HeadFunc",
+        s(C),
+        vec![
+            s(rid.clone()),
+            s(rule.head.table.clone()),
+            s(head_names[0].clone()),
+            s(head_names[1].clone()),
+            s(head_names[2].clone()),
+        ],
+    ));
+    // --- assignments (explicit + implicit identity for join-bound args) ---
+    for (ai, a) in rule.assigns.iter().enumerate() {
+        match &a.expr {
+            Expr::Const(v) => {
+                let cid = format!("asg{ai}");
+                out.push(Tuple::new(
+                    "Const",
+                    s(C),
+                    vec![s(rid.clone()), s(cid.clone()), v.clone()],
+                ));
+                out.push(Tuple::new(
+                    "Assign",
+                    s(C),
+                    vec![s(rid.clone()), s(a.var.clone()), s(cid)],
+                ));
+            }
+            Expr::Var(v) => {
+                out.push(Tuple::new(
+                    "Assign",
+                    s(C),
+                    vec![s(rid.clone()), s(a.var.clone()), s(v.clone())],
+                ));
+            }
+            _ => return Err(MetaError::ComplexAssign(rid.clone())),
+        }
+    }
+    let assigned: Vec<&str> = rule.assigns.iter().map(|a| a.var.as_str()).collect();
+    for name in &head_names {
+        if !assigned.contains(&name.as_str()) {
+            // Identity assignment: head arg comes straight from the join.
+            out.push(Tuple::new(
+                "Assign",
+                s(C),
+                vec![s(rid.clone()), s(name.clone()), s(name.clone())],
+            ));
+        }
+    }
+    // --- selections --------------------------------------------------------
+    let mut sels: Vec<(String, String, String, String)> = Vec::new(); // (sid, idl, idr, op)
+    for (si, sel) in rule.sels.iter().enumerate() {
+        let mut side = |e: &Expr, tag: &str| -> Result<String, MetaError> {
+            match e {
+                Expr::Var(v) => Ok(v.clone()),
+                Expr::Const(v) => {
+                    let cid = format!("sel{si}.{tag}");
+                    out.push(Tuple::new(
+                        "Const",
+                        s(C),
+                        vec![s(rid.clone()), s(cid.clone()), v.clone()],
+                    ));
+                    Ok(cid)
+                }
+                _ => Err(MetaError::ComplexSelection(rid.clone())),
+            }
+        };
+        let idl = side(&sel.lhs, "l")?;
+        let idr = side(&sel.rhs, "r")?;
+        sels.push((sel.sid(), idl, idr, sel.op.symbol().to_string()));
+    }
+    for (var, renamed) in &extra_sels {
+        sels.push((format!("{var} == {renamed}"), var.clone(), renamed.clone(), "==".into()));
+    }
+    if sels.len() > 2 {
+        return Err(MetaError::TooManySelections(rid.clone()));
+    }
+    while sels.len() < 2 {
+        // Padding tautology over two distinct constant expressions.
+        let n = sels.len();
+        for tag in ["l", "r"] {
+            out.push(Tuple::new(
+                "Const",
+                s(C),
+                vec![s(rid.clone()), s(format!("pad{n}.{tag}")), Value::Int(0)],
+            ));
+        }
+        sels.push((
+            format!("pad{n}"),
+            format!("pad{n}.l"),
+            format!("pad{n}.r"),
+            "==".into(),
+        ));
+    }
+    for (sid, idl, idr, op) in sels {
+        out.push(Tuple::new(
+            "Oper",
+            s(C),
+            vec![s(rid.clone()), s(sid), s(idl), s(idr), s(op)],
+        ));
+    }
+    Ok(())
+}
+
+/// The Fig. 4 meta program for µDlog, in concrete NDlog syntax. 15 meta
+/// rules over 13 meta tables, exactly as the paper counts them.
+pub fn meta_program() -> Program {
+    parse_program(
+        "udlog-meta",
+        r"
+        materialize(Base, infinity, 3, keys(0,1,2)).
+        materialize(Tuple, infinity, 3, keys(0,1,2)).
+        materialize(HeadFunc, infinity, 5, keys(0)).
+        materialize(PredFunc, infinity, 4, keys(0,1)).
+        materialize(PredFuncCount, infinity, 2, keys(0)).
+        materialize(Assign, infinity, 3, keys(0,1,2)).
+        materialize(Const, infinity, 3, keys(0,1)).
+        materialize(Oper, infinity, 5, keys(0,1)).
+        materialize(TuplePred, infinity, 6, keys(0,1,2,3,4,5)).
+        materialize(Join2, infinity, 6, keys(0,1)).
+        materialize(Join4, infinity, 10, keys(0,1)).
+        materialize(Expr, infinity, 4, keys(0,1,2,3)).
+        materialize(HeadVal, infinity, 4, keys(0,1,2,3)).
+        materialize(Sel, infinity, 4, keys(0,1,2,3)).
+
+        // h1: base tuples exist as tuples.
+        h1 Tuple(@C,Tab,Val1,Val2) :- Base(@C,Tab,Val1,Val2).
+
+        // h2: a rule fires iff there is a join state in which both
+        // selections hold and the head values are available.
+        h2 Tuple(@L,Tab,Val1,Val2) :- HeadFunc(@C,Rul,Tab,Loc,Arg1,Arg2),
+            HeadVal(@C,Rul,JID,Loc,L), HeadVal(@C,Rul,JID1,Arg1,Val1),
+            HeadVal(@C,Rul,JID2,Arg2,Val2), Sel(@C,Rul,JIDa,SID,Val),
+            Sel(@C,Rul,JIDb,SIDP,ValP), Val == true, ValP == true,
+            true == f_match(JID1,JID), true == f_match(JID2,JID),
+            true == f_match(JIDa,JID), true == f_match(JIDb,JID), SID != SIDP.
+
+        // p1: each concrete tuple instantiates each syntactic predicate.
+        p1 TuplePred(@C,Rul,Tab,Arg1,Arg2,Val1,Val2) :- Tuple(@C,Tab,Val1,Val2),
+            PredFunc(@C,Rul,Tab,Arg1,Arg2).
+
+        // p2: how many predicates does the rule join?
+        p2 PredFuncCount(@C,Rul,a_count<Tab>) :- PredFunc(@C,Rul,Tab,Arg1,Arg2).
+
+        // j1: two-predicate rules take the full cross product (selections
+        // filter it later).
+        j1 Join4(@C,Rul,JID,Arg1,Arg2,Arg3,Arg4,Val1,Val2,Val3,Val4) :-
+            TuplePred(@C,Rul,Tab,Arg1,Arg2,Val1,Val2),
+            TuplePred(@C,Rul,TabP,Arg3,Arg4,Val3,Val4),
+            PredFuncCount(@C,Rul,N), N == 2, Tab != TabP, JID := f_unique().
+
+        // j2: single-predicate rules.
+        j2 Join2(@C,Rul,JID,Arg1,Arg2,Val1,Val2) :- TuplePred(@C,Rul,Tab,Arg1,Arg2,Val1,Val2),
+            PredFuncCount(@C,Rul,N), N == 1, JID := f_unique().
+
+        // e1: constants are valid in every join state (wildcard JID).
+        e1 Expr(@C,Rul,JID,ID,Val) :- Const(@C,Rul,ID,Val), JID := *.
+
+        // e2..e7: every join column is an expression in its join state.
+        e2 Expr(@C,Rul,JID,Arg1,Val1) :- Join2(@C,Rul,JID,Arg1,Arg2,Val1,Val2).
+        e3 Expr(@C,Rul,JID,Arg2,Val2) :- Join2(@C,Rul,JID,Arg1,Arg2,Val1,Val2).
+        e4 Expr(@C,Rul,JID,Arg1,Val1) :- Join4(@C,Rul,JID,Arg1,Arg2,Arg3,Arg4,Val1,Val2,Val3,Val4).
+        e5 Expr(@C,Rul,JID,Arg2,Val2) :- Join4(@C,Rul,JID,Arg1,Arg2,Arg3,Arg4,Val1,Val2,Val3,Val4).
+        e6 Expr(@C,Rul,JID,Arg3,Val3) :- Join4(@C,Rul,JID,Arg1,Arg2,Arg3,Arg4,Val1,Val2,Val3,Val4).
+        e7 Expr(@C,Rul,JID,Arg4,Val4) :- Join4(@C,Rul,JID,Arg1,Arg2,Arg3,Arg4,Val1,Val2,Val3,Val4).
+
+        // a1: head values come from assignments over expressions.
+        a1 HeadVal(@C,Rul,JID,Arg,Val) :- Assign(@C,Rul,Arg,ID), Expr(@C,Rul,JID,ID,Val).
+
+        // s1: selections evaluate one operator over two expressions that
+        // agree on the join state.
+        s1 Sel(@C,Rul,JID,SID,Val) :- Oper(@C,Rul,SID,IDl,IDr,Opr),
+            Expr(@C,Rul,JIDl,IDl,Vl), Expr(@C,Rul,JIDr,IDr,Vr),
+            true == f_match(JIDl,JIDr), JID := f_join(JIDl,JIDr),
+            Val := f_apply(Opr,Vl,Vr), IDl != IDr.
+        ",
+    )
+    .expect("meta program parses")
+}
+
+/// Run the object program *through the meta program*: translate it to meta
+/// tuples, feed the base tuples, and read back the derived `Tuple` facts
+/// for `table`.
+pub fn meta_interpret(
+    program: &Program,
+    base: &[Tuple],
+    table: &str,
+) -> Result<Vec<Tuple>, String> {
+    let meta = meta_program();
+    let mut engine = mpr_runtime::Engine::new(&meta).map_err(|e| e.to_string())?;
+    let prog_tuples = meta_tuples(program).map_err(|e| e.to_string())?;
+    engine.insert_all(prog_tuples).map_err(|e| e.to_string())?;
+    for t in base {
+        engine.insert(base_meta_tuple(t)).map_err(|e| e.to_string())?;
+    }
+    // Tuple(@L, Tab, V1, V2) with Tab == table.
+    let mut out: Vec<Tuple> = Vec::new();
+    for t in engine.tuples("Tuple") {
+        if t.args.first().and_then(|v| v.as_str()) == Some(table) {
+            out.push(Tuple::new(
+                table,
+                t.loc.clone(),
+                vec![t.args[1].clone(), t.args[2].clone()],
+            ));
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::q1_program;
+    use mpr_ndlog::Value as V;
+
+    fn base_fixture() -> Vec<Tuple> {
+        vec![
+            Tuple::new("WebLoadBalancer", V::str("C"), vec![V::Int(80), V::Int(2)]),
+            Tuple::new("PacketIn", V::str("C"), vec![V::Int(1), V::Int(80)]),
+            Tuple::new("PacketIn", V::str("C"), vec![V::Int(2), V::Int(80)]),
+            Tuple::new("PacketIn", V::str("C"), vec![V::Int(3), V::Int(80)]),
+            Tuple::new("PacketIn", V::str("C"), vec![V::Int(3), V::Int(53)]),
+        ]
+    }
+
+    /// Direct evaluation oracle: run the object program on the base engine
+    /// (all state, set semantics) and collect `table` tuples.
+    fn direct(program: &Program, base: &[Tuple], table: &str) -> Vec<Tuple> {
+        // Strip event declarations: the meta model persists everything.
+        let mut p = program.clone();
+        p.catalog = mpr_ndlog::Catalog::new();
+        let mut engine = mpr_runtime::Engine::new(&p).unwrap();
+        for t in base {
+            engine.insert(t.clone()).unwrap();
+        }
+        let mut v = engine.tuples(table);
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn meta_counts_match_the_paper() {
+        let m = meta_program();
+        assert_eq!(m.rules.len(), 15, "µDlog requires 15 meta rules");
+        // 13 meta tuple kinds = 14 declared tables minus the derived-only
+        // PredFuncCount helper? No: the paper counts 13 *meta tuples*; we
+        // declare 14 tables because PredFuncCount materializes the count
+        // explicitly. Verify the 13 paper tables are all present.
+        for t in [
+            "Base", "Tuple", "HeadFunc", "PredFunc", "Assign", "Const", "Oper", "TuplePred",
+            "Join2", "Join4", "Expr", "HeadVal", "Sel",
+        ] {
+            assert!(m.catalog.get(t).is_some(), "missing meta table {t}");
+        }
+    }
+
+    #[test]
+    fn meta_tuples_for_fig2_rule() {
+        let p = q1_program();
+        let ts = meta_tuples(&p).unwrap();
+        // r7 contributes HeadFunc, PredFunc, Oper×2, Const (sel consts + assign).
+        let r7: Vec<&Tuple> = ts
+            .iter()
+            .filter(|t| t.args.first().and_then(|v| v.as_str()) == Some("r7"))
+            .collect();
+        assert!(r7.iter().any(|t| t.table == "HeadFunc"));
+        assert!(r7.iter().any(|t| t.table == "PredFunc"));
+        assert_eq!(r7.iter().filter(|t| t.table == "Oper").count(), 2);
+        // Swi==2 rhs, Hdr==80 rhs, Prt:=2 → three constants.
+        assert_eq!(r7.iter().filter(|t| t.table == "Const").count(), 3);
+        // Identity assigns for Swi and Hdr plus the explicit Prt assign.
+        assert_eq!(r7.iter().filter(|t| t.table == "Assign").count(), 3);
+    }
+
+    #[test]
+    fn equijoin_expansion_for_r1() {
+        let p = q1_program();
+        let ts = meta_tuples(&p).unwrap();
+        // r1 shares Hdr between PacketIn and WebLoadBalancer: the second
+        // occurrence is renamed and an equality selection appears.
+        let r1_opers: Vec<String> = ts
+            .iter()
+            .filter(|t| t.table == "Oper" && t.args[0] == V::str("r1"))
+            .map(|t| t.args[1].as_str().unwrap().to_string())
+            .collect();
+        assert!(r1_opers.contains(&"Swi == 1".to_string()), "{r1_opers:?}");
+        assert!(r1_opers.contains(&"Hdr == Hdr__b".to_string()), "{r1_opers:?}");
+    }
+
+    #[test]
+    fn meta_interpretation_matches_direct_evaluation() {
+        // THE differential test: Fig. 4 meta program ≡ the engine, on the
+        // Fig. 2 controller program.
+        let p = q1_program();
+        let base = base_fixture();
+        let via_meta = meta_interpret(&p, &base, "FlowTable").unwrap();
+        let direct = direct(&p, &base, "FlowTable");
+        assert_eq!(via_meta, direct, "meta ≠ direct");
+        // Sanity: the buggy program derives S2/S1 entries but nothing for
+        // HTTP at S3 (the Fig. 1 symptom).
+        assert!(!via_meta.is_empty());
+        assert!(via_meta
+            .iter()
+            .all(|t| !(t.loc == V::Int(3) && t.args[0] == V::Int(80))));
+        // DNS at S3 works (p3).
+        assert!(via_meta
+            .iter()
+            .any(|t| t.loc == V::Int(3) && t.args[0] == V::Int(53)));
+    }
+
+    #[test]
+    fn meta_interpretation_matches_after_repair() {
+        // Apply the intuitive fix (Swi==2 → Swi==3 in r7) and check the
+        // meta interpretation again — now the S3 entry appears.
+        use mpr_ndlog::patch::{Edit, Patch};
+        use mpr_ndlog::{ConstSite, ExprSide};
+        let p = Patch::single(Edit::SetConst {
+            rule: "r7".into(),
+            site: ConstSite::Selection { idx: 0, side: ExprSide::Rhs, path: vec![] },
+            value: V::Int(3),
+        })
+        .apply(&q1_program())
+        .unwrap();
+        let base = base_fixture();
+        let via_meta = meta_interpret(&p, &base, "FlowTable").unwrap();
+        let direct = direct(&p, &base, "FlowTable");
+        assert_eq!(via_meta, direct);
+        assert!(via_meta
+            .iter()
+            .any(|t| t.loc == V::Int(3) && t.args[0] == V::Int(80) && t.args[1] == V::Int(2)));
+    }
+
+    #[test]
+    fn non_udlog_programs_are_rejected() {
+        let p = mpr_ndlog::parse_program("bad", "x T(@A,B) :- S(@A,B,C,D), B == 1.").unwrap();
+        assert!(matches!(meta_tuples(&p), Err(MetaError::BadArity(_))));
+        let p = mpr_ndlog::parse_program(
+            "bad2",
+            "x T(@A,B,E) :- S(@A,B,E), U(@A,B,E), W(@A,B,E), B == 1.",
+        )
+        .unwrap();
+        assert!(matches!(meta_tuples(&p), Err(MetaError::TooManyPredicates(_))));
+        let p =
+            mpr_ndlog::parse_program("bad3", "x T(@A,B,Z) :- S(@A,B,Z), B == 1, Z := B * 2 + 1.")
+                .unwrap();
+        assert!(matches!(meta_tuples(&p), Err(MetaError::ComplexAssign(_))));
+    }
+}

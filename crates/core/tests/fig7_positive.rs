@@ -1,0 +1,50 @@
+//! End-to-end test of the *positive symptom* path (§4.2, Fig. 7): an
+//! existing harmful tuple is removed by deleting or changing base tuples,
+//! or by rule-literal changes that break the offending derivation.
+
+use mpr_core::debugger::repair_scenario;
+use mpr_core::repair::Repair;
+use mpr_core::scenarios::Scenario;
+
+#[test]
+fn harmful_entry_is_repaired() {
+    let scenario = Scenario::fig7_harmful_entry();
+    let report = repair_scenario(&scenario);
+    assert!(report.generated() >= 2, "{}", report.render_table());
+    assert!(report.accepted_count() >= 1, "{}", report.render_table());
+    // The Fig. 7 repairs appear: deleting the base tuple that feeds the
+    // derivation, and the "green" constant change on r1's selection.
+    assert!(
+        report
+            .outcomes
+            .iter()
+            .any(|o| matches!(o.candidate.repair, Repair::DeleteTuple(_))),
+        "{}",
+        report.render_table()
+    );
+    assert!(
+        report
+            .outcomes
+            .iter()
+            .any(|o| o.candidate.description.contains("Swi == 1 in r1")),
+        "{}",
+        report.render_table()
+    );
+    // The accepted repair actually redirects traffic to the primary.
+    let best = report.accepted[0];
+    assert!(report.outcomes[best].effective);
+}
+
+#[test]
+fn positive_traces_walk_the_derivation() {
+    let scenario = Scenario::fig7_harmful_entry();
+    let report = repair_scenario(&scenario);
+    let delete = report
+        .outcomes
+        .iter()
+        .find(|o| matches!(o.candidate.repair, Repair::DeleteTuple(_)))
+        .expect("deletion candidate exists");
+    let trace = delete.candidate.render_trace();
+    assert!(trace.contains("EXIST[Tuple"), "{trace}");
+    assert!(trace.contains("DERIVE[r1"), "{trace}");
+}

@@ -1,0 +1,26 @@
+//! # mpr-langs — mini-Trema and mini-Pyretic frontends
+//!
+//! §5.8 of the paper applies meta provenance to two non-declarative
+//! controller languages: Trema (imperative Ruby) and Pyretic (a Python-
+//! embedded policy DSL). The paper's appendices model a *subset* of each
+//! language (Appendix B.2/B.3); this crate implements exactly those
+//! subsets as standalone mini-languages with pretty printers, compilers
+//! into NDlog (so the repair machinery applies unchanged), and per-language
+//! repair legality:
+//!
+//! - [`trema`] — if-statements over switch/packet fields with
+//!   `send_flow_mod_add` / `send_packet_out` actions; all comparison
+//!   operators are mutable;
+//! - [`pyretic`] — the NetCore policy algebra (`match`, `fwd`, `drop`,
+//!   `|`, `>>`); `match` admits only equality, so operator repairs are
+//!   disallowed (which is why Pyretic yields fewer Q1 candidates in
+//!   Table 3), and the runtime emits `PacketOut`s automatically (which is
+//!   why Q4 cannot be reproduced under Pyretic).
+
+#![warn(missing_docs)]
+
+pub mod pyretic;
+pub mod trema;
+
+pub use pyretic::{q1_pyretic, Policy, PyreticProgram};
+pub use trema::{q1_trema, Cond, IfStmt, TremaAction, TremaProgram};

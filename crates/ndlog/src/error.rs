@@ -1,0 +1,87 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Build an error at a position.
+    pub fn at(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        ParseError { line, col, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An expression-evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was not bound in the environment.
+    UnboundVar(String),
+    /// Integer division or modulo by zero.
+    DivideByZero,
+    /// Operand types did not fit the operator.
+    TypeError(String),
+    /// Unknown built-in function.
+    UnknownFunc(String),
+    /// Built-in called with the wrong number of arguments.
+    BadArity { /// Function name.
+        func: String, /// Expected argument count.
+        expected: usize, /// Actual argument count.
+        got: usize },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::DivideByZero => f.write_str("division by zero"),
+            EvalError::TypeError(m) => write!(f, "type error: {m}"),
+            EvalError::UnknownFunc(n) => write!(f, "unknown function `{n}`"),
+            EvalError::BadArity { func, expected, got } => {
+                write!(f, "`{func}` expects {expected} argument(s), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A patch-application error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// The referenced rule does not exist.
+    NoSuchRule(String),
+    /// The referenced site (selection/predicate/argument) does not exist.
+    NoSuchSite(String),
+    /// Applying the edit would produce a syntactically invalid program
+    /// (§4.2: "we must ensure that the change does not violate the syntax").
+    WouldBreakSyntax(String),
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::NoSuchRule(r) => write!(f, "no such rule `{r}`"),
+            PatchError::NoSuchSite(s) => write!(f, "no such edit site: {s}"),
+            PatchError::WouldBreakSyntax(m) => write!(f, "edit would break syntax: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}

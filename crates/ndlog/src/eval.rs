@@ -1,0 +1,288 @@
+//! Expression and selection evaluation.
+//!
+//! Expressions are evaluated against a variable *environment* plus a
+//! [`FuncHost`] that interprets built-in functions. Pure built-ins
+//! (`f_match`, `f_join`, `f_concat`) are provided by [`PureFuncs`];
+//! stateful ones (`f_unique`) are supplied by the engine.
+
+use crate::ast::{BinOp, Expr, Selection};
+use crate::error::EvalError;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A variable environment: name → value.
+pub type Env = BTreeMap<String, Value>;
+
+/// Host for built-in functions referenced by `Expr::Call`.
+pub trait FuncHost {
+    /// Evaluate built-in `name` on `args`.
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError>;
+}
+
+/// The pure built-ins of the meta model (Fig. 4):
+///
+/// - `f_match(a, b)` — wildcard-aware equality (returns a boolean);
+/// - `f_join(a, b)` — wildcard-resolving join-ID combination;
+/// - `f_concat(parts...)` — string concatenation (Appendix B.2 uses it to
+///   build composite identifiers).
+///
+/// `f_unique()` is *not* pure; calling it through `PureFuncs` is an error.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PureFuncs;
+
+impl FuncHost for PureFuncs {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        match name {
+            "f_match" => {
+                if args.len() != 2 {
+                    return Err(EvalError::BadArity { func: name.into(), expected: 2, got: args.len() });
+                }
+                Ok(Value::Bool(args[0].matches_wild(&args[1])))
+            }
+            "f_join" => {
+                if args.len() != 2 {
+                    return Err(EvalError::BadArity { func: name.into(), expected: 2, got: args.len() });
+                }
+                Ok(args[0].join_wild(&args[1]))
+            }
+            "f_concat" => {
+                let mut s = String::new();
+                for a in args {
+                    s.push_str(&a.to_string());
+                }
+                Ok(Value::Str(s))
+            }
+            "f_apply" => {
+                // The meta model's `Val := (Val' Opr Val'')` (meta rule s1,
+                // Fig. 4): the *operator itself is data*. `f_apply(op, a, b)`
+                // applies the operator named by the string `op`.
+                if args.len() != 3 {
+                    return Err(EvalError::BadArity { func: name.into(), expected: 3, got: args.len() });
+                }
+                let op = args[0]
+                    .as_str()
+                    .ok_or_else(|| EvalError::TypeError("f_apply: operator must be a string".into()))?;
+                let (a, b) = (&args[1], &args[2]);
+                use crate::ast::{BinOp, CmpOp};
+                let cmp = |o: CmpOp| Ok(Value::Bool(o.eval(a, b)));
+                match op {
+                    "==" => cmp(CmpOp::Eq),
+                    "!=" => cmp(CmpOp::Ne),
+                    "<" => cmp(CmpOp::Lt),
+                    "<=" => cmp(CmpOp::Le),
+                    ">" => cmp(CmpOp::Gt),
+                    ">=" => cmp(CmpOp::Ge),
+                    "+" => eval_binop(BinOp::Add, a, b),
+                    "-" => eval_binop(BinOp::Sub, a, b),
+                    "*" => eval_binop(BinOp::Mul, a, b),
+                    "/" => eval_binop(BinOp::Div, a, b),
+                    "%" => eval_binop(BinOp::Mod, a, b),
+                    other => Err(EvalError::UnknownFunc(format!("f_apply operator `{other}`"))),
+                }
+            }
+            other => Err(EvalError::UnknownFunc(other.into())),
+        }
+    }
+}
+
+/// A [`FuncHost`] that layers a deterministic `f_unique()` counter over
+/// [`PureFuncs`]. Each call returns a fresh integer. The engine seeds one
+/// per run so executions are reproducible.
+#[derive(Debug, Default, Clone)]
+pub struct CountingFuncs {
+    next: i64,
+}
+
+impl CountingFuncs {
+    /// Start counting from `start`.
+    pub fn starting_at(start: i64) -> Self {
+        CountingFuncs { next: start }
+    }
+
+    /// How many unique ids have been handed out.
+    pub fn issued(&self) -> i64 {
+        self.next
+    }
+}
+
+impl FuncHost for CountingFuncs {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        if name == "f_unique" {
+            if !args.is_empty() {
+                return Err(EvalError::BadArity { func: name.into(), expected: 0, got: args.len() });
+            }
+            let v = self.next;
+            self.next += 1;
+            return Ok(Value::Int(v));
+        }
+        PureFuncs.call(name, args)
+    }
+}
+
+impl Expr {
+    /// Evaluate the expression under `env`, resolving built-ins via `host`.
+    pub fn eval(&self, env: &Env, host: &mut dyn FuncHost) -> Result<Value, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVar(name.clone())),
+            Expr::Binary(op, l, r) => {
+                let lv = l.eval(env, host)?;
+                let rv = r.eval(env, host)?;
+                eval_binop(*op, &lv, &rv)
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env, host)?);
+                }
+                host.call(name, &vals)
+            }
+        }
+    }
+}
+
+/// Evaluate one binary arithmetic operation.
+pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    match (op, l, r) {
+        (BinOp::Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+        (BinOp::Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+        (BinOp::Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+        (BinOp::Div, Value::Int(_), Value::Int(0)) => Err(EvalError::DivideByZero),
+        (BinOp::Div, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
+        (BinOp::Mod, Value::Int(_), Value::Int(0)) => Err(EvalError::DivideByZero),
+        (BinOp::Mod, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a % b)),
+        (BinOp::Add, Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+        _ => Err(EvalError::TypeError(format!(
+            "cannot apply `{op}` to {} and {}",
+            l.type_tag(),
+            r.type_tag()
+        ))),
+    }
+}
+
+impl Selection {
+    /// Evaluate the selection under `env`. Evaluation errors are *not*
+    /// silently false — the caller decides (the engine treats them as a
+    /// non-match; the repair generator propagates them as constraints).
+    pub fn eval(&self, env: &Env, host: &mut dyn FuncHost) -> Result<bool, EvalError> {
+        let l = self.lhs.eval(env, host)?;
+        let r = self.rhs.eval(env, host)?;
+        Ok(self.op.eval(&l, &r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn env(pairs: &[(&str, Value)]) -> Env {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = crate::parser::parse_rule("x T(@C,A) :- S(@C,B), A := (B + 1) * 3 - 4 / 2.")
+            .unwrap()
+            .assigns[0]
+            .expr
+            .clone();
+        let v = e.eval(&env(&[("B", Value::Int(5))]), &mut PureFuncs).unwrap();
+        assert_eq!(v, Value::Int(16));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let e = Expr::Binary(BinOp::Div, Box::new(Expr::int(1)), Box::new(Expr::int(0)));
+        assert_eq!(e.eval(&Env::new(), &mut PureFuncs), Err(EvalError::DivideByZero));
+        let e = Expr::Binary(BinOp::Mod, Box::new(Expr::int(1)), Box::new(Expr::int(0)));
+        assert_eq!(e.eval(&Env::new(), &mut PureFuncs), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let e = Expr::var("Missing");
+        assert_eq!(
+            e.eval(&Env::new(), &mut PureFuncs),
+            Err(EvalError::UnboundVar("Missing".into()))
+        );
+    }
+
+    #[test]
+    fn string_concat_via_add() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Const(Value::str("a"))),
+            Box::new(Expr::Const(Value::str("b"))),
+        );
+        assert_eq!(e.eval(&Env::new(), &mut PureFuncs).unwrap(), Value::str("ab"));
+    }
+
+    #[test]
+    fn f_match_and_f_join() {
+        let mut h = PureFuncs;
+        assert_eq!(
+            h.call("f_match", &[Value::Wild, Value::Int(3)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            h.call("f_match", &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            h.call("f_join", &[Value::Int(2), Value::Wild]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            h.call("f_join", &[Value::Wild, Value::Int(3)]).unwrap(),
+            Value::Int(3)
+        );
+        assert!(h.call("f_unique", &[]).is_err());
+        assert!(h.call("nope", &[]).is_err());
+        assert!(h.call("f_match", &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn f_unique_counts_deterministically() {
+        let mut h = CountingFuncs::default();
+        assert_eq!(h.call("f_unique", &[]).unwrap(), Value::Int(0));
+        assert_eq!(h.call("f_unique", &[]).unwrap(), Value::Int(1));
+        assert_eq!(h.issued(), 2);
+        // still answers pure builtins
+        assert_eq!(
+            h.call("f_join", &[Value::Int(2), Value::Wild]).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn f_apply_interprets_operator_values() {
+        let mut h = PureFuncs;
+        assert_eq!(
+            h.call("f_apply", &[Value::str("=="), Value::Int(2), Value::Int(2)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            h.call("f_apply", &[Value::str("<"), Value::Int(3), Value::Int(2)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            h.call("f_apply", &[Value::str("+"), Value::Int(3), Value::Int(2)]).unwrap(),
+            Value::Int(5)
+        );
+        assert!(h.call("f_apply", &[Value::str("??"), Value::Int(3), Value::Int(2)]).is_err());
+        assert!(h.call("f_apply", &[Value::Int(1), Value::Int(3), Value::Int(2)]).is_err());
+        assert!(h.call("f_apply", &[Value::str("==")]).is_err());
+    }
+
+    #[test]
+    fn selection_eval() {
+        let s = Selection::new(Expr::var("Swi"), CmpOp::Eq, Expr::int(2));
+        assert!(s.eval(&env(&[("Swi", Value::Int(2))]), &mut PureFuncs).unwrap());
+        assert!(!s.eval(&env(&[("Swi", Value::Int(3))]), &mut PureFuncs).unwrap());
+        assert!(s.eval(&Env::new(), &mut PureFuncs).is_err());
+    }
+}

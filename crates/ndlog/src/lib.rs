@@ -1,0 +1,46 @@
+//! # mpr-ndlog — the NDlog controller language
+//!
+//! Network Datalog (NDlog, Loo et al., CACM'09) is the declarative language
+//! the paper uses to express SDN controller programs (§2.1): a program is a
+//! set of rules `Head(@Loc, ...) :- Body..., selections..., assignments...`
+//! over tuples that live on nodes (`@` is the location specifier).
+//!
+//! This crate provides the *language substrate* of the reproduction:
+//!
+//! - [`value::Value`] / [`tuple::Tuple`] — the data model (integers,
+//!   strings, booleans, and the meta model's `*` wildcard);
+//! - [`ast`] — programs, rules, atoms, expressions, selections, assignments;
+//! - [`parser`] — a recursive-descent parser for the concrete syntax of
+//!   Fig. 2/Fig. 3, plus `materialize(...)` schema declarations;
+//! - [`eval`] — expression/selection evaluation with built-in functions
+//!   (`f_match`, `f_join`, `f_unique`, `f_concat`);
+//! - [`patch`] — program edits, the concrete form of repairs (Table 2);
+//! - [`udlog`] — the µDlog restriction checker (Fig. 3);
+//! - [`schema`] — table schemas (state vs event, primary keys).
+//!
+//! The evaluation *engine* lives in `mpr-runtime`; the meta model and the
+//! repair search live in `mpr-core`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod patch;
+pub mod schema;
+pub mod tuple;
+pub mod udlog;
+pub mod value;
+
+pub use ast::{
+    AggKind, Assign, Atom, BinOp, CmpOp, ConstSite, Expr, ExprSide, Program, Rule, Selection, Term,
+};
+pub use error::{EvalError, ParseError, PatchError};
+pub use eval::{CountingFuncs, Env, FuncHost, PureFuncs};
+pub use parser::{parse_program, parse_rule};
+pub use patch::{Edit, Patch};
+pub use schema::{Catalog, Persistence, Schema};
+pub use tuple::{SignedTuple, Tuple};
+pub use value::Value;

@@ -1,0 +1,577 @@
+//! Program patches — the concrete form of a repair.
+//!
+//! A [`Patch`] is an ordered list of [`Edit`]s against a [`Program`]. The
+//! repair generator (in `mpr-core`) emits patches; this module applies them
+//! and renders the paper's human-readable descriptions ("Changing Swi == 2
+//! in r7 to Swi == 3", Table 2).
+//!
+//! Syntax preservation (§4.2): every edit is checked against the grammar —
+//! e.g. deleting one side of a comparison is impossible by construction,
+//! and deleting the last body predicate of a rule is rejected.
+
+use crate::ast::{Atom, CmpOp, ConstSite, Expr, ExprSide, Program, Rule, Term};
+use crate::error::PatchError;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One elementary program edit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Edit {
+    /// Replace the constant at `site` in `rule` with `value`.
+    SetConst {
+        /// Target rule id.
+        rule: String,
+        /// Constant locator.
+        site: ConstSite,
+        /// New value.
+        value: Value,
+    },
+    /// Replace the comparison operator of selection `sel` in `rule`.
+    SetSelectionOp {
+        /// Target rule id.
+        rule: String,
+        /// Selection index.
+        sel: usize,
+        /// New operator.
+        op: CmpOp,
+    },
+    /// Replace one whole side of selection `sel` (e.g. a variable swap
+    /// `Sip < 6` → `Dpt < 6`, Table 6a candidates J–L).
+    SetSelectionExpr {
+        /// Target rule id.
+        rule: String,
+        /// Selection index.
+        sel: usize,
+        /// Which side to replace.
+        side: ExprSide,
+        /// New expression.
+        expr: Expr,
+    },
+    /// Delete selection `sel` from `rule`.
+    DeleteSelection {
+        /// Target rule id.
+        rule: String,
+        /// Selection index.
+        sel: usize,
+    },
+    /// Delete body predicate `pred` from `rule`.
+    DeletePredicate {
+        /// Target rule id.
+        rule: String,
+        /// Predicate index.
+        pred: usize,
+    },
+    /// Replace the right-hand expression of the assignment to `var`.
+    SetAssignExpr {
+        /// Target rule id.
+        rule: String,
+        /// Assigned variable.
+        var: String,
+        /// New expression.
+        expr: Expr,
+    },
+    /// Replace head argument `idx` of `rule`.
+    SetHeadArg {
+        /// Target rule id.
+        rule: String,
+        /// Head argument index.
+        idx: usize,
+        /// New term.
+        term: Term,
+    },
+    /// Re-target the head of `rule` to a different table (Q4 repairs:
+    /// "changing the head of r5 to packetOut(...)").
+    SetHeadTable {
+        /// Target rule id.
+        rule: String,
+        /// New head table.
+        table: String,
+    },
+    /// Add a complete new rule (also used for "copy rule and modify" repairs).
+    AddRule {
+        /// The rule to append.
+        rule: Rule,
+    },
+    /// Delete a whole rule.
+    DeleteRule {
+        /// Rule id to remove.
+        rule: String,
+    },
+}
+
+impl Edit {
+    /// The rule this edit touches, if any.
+    pub fn rule_id(&self) -> Option<&str> {
+        match self {
+            Edit::SetConst { rule, .. }
+            | Edit::SetSelectionOp { rule, .. }
+            | Edit::SetSelectionExpr { rule, .. }
+            | Edit::DeleteSelection { rule, .. }
+            | Edit::DeletePredicate { rule, .. }
+            | Edit::SetAssignExpr { rule, .. }
+            | Edit::SetHeadArg { rule, .. }
+            | Edit::SetHeadTable { rule, .. }
+            | Edit::DeleteRule { rule } => Some(rule),
+            Edit::AddRule { rule } => Some(&rule.id),
+        }
+    }
+}
+
+/// An ordered collection of edits applied atomically.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Patch {
+    /// Edits, applied in order (deletions are internally reordered
+    /// descending so earlier deletions do not shift later indices).
+    pub edits: Vec<Edit>,
+}
+
+impl Patch {
+    /// A patch with a single edit.
+    pub fn single(edit: Edit) -> Self {
+        Patch { edits: vec![edit] }
+    }
+
+    /// A patch with several edits.
+    pub fn of(edits: Vec<Edit>) -> Self {
+        Patch { edits }
+    }
+
+    /// `true` when the patch contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Rule ids modified by this patch (used by the multi-query optimizer to
+    /// decide which rules need per-candidate copies, §4.4).
+    pub fn touched_rules(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.edits.iter().filter_map(|e| e.rule_id().map(String::from)).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Apply the patch to `program`, returning the repaired program.
+    ///
+    /// The input program is left untouched; candidate repairs are backtested
+    /// side by side (§4.4), so patches never mutate in place.
+    pub fn apply(&self, program: &Program) -> Result<Program, PatchError> {
+        let mut out = program.clone();
+        // Deletions of indexed sites are applied after other edits and in
+        // descending index order, so that a multi-delete patch ("Deleting
+        // Swi==2 and Dpt==53 in r6", Table 2 candidate G) is well defined.
+        let mut dels: Vec<&Edit> = Vec::new();
+        for e in &self.edits {
+            match e {
+                Edit::DeleteSelection { .. } | Edit::DeletePredicate { .. } => dels.push(e),
+                _ => apply_one(&mut out, e)?,
+            }
+        }
+        dels.sort_by_key(|e| {
+            std::cmp::Reverse(match e {
+                Edit::DeleteSelection { sel, .. } => *sel,
+                Edit::DeletePredicate { pred, .. } => *pred,
+                _ => 0,
+            })
+        });
+        for e in dels {
+            apply_one(&mut out, e)?;
+        }
+        out.validate().map_err(PatchError::WouldBreakSyntax)?;
+        Ok(out)
+    }
+
+    /// Render a human-readable description against the *original* program,
+    /// in the style of the paper's Table 2.
+    pub fn describe(&self, program: &Program) -> String {
+        let parts: Vec<String> = self.edits.iter().map(|e| describe_one(program, e)).collect();
+        parts.join("; ")
+    }
+}
+
+impl fmt::Display for Patch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.edits.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+fn rule_mut<'a>(p: &'a mut Program, id: &str) -> Result<&'a mut Rule, PatchError> {
+    p.rule_mut(id).ok_or_else(|| PatchError::NoSuchRule(id.to_string()))
+}
+
+fn rule_ref<'a>(p: &'a Program, id: &str) -> Option<&'a Rule> {
+    p.rule(id)
+}
+
+fn apply_one(p: &mut Program, e: &Edit) -> Result<(), PatchError> {
+    match e {
+        Edit::SetConst { rule, site, value } => {
+            let r = rule_mut(p, rule)?;
+            set_const(r, site, value.clone())
+        }
+        Edit::SetSelectionOp { rule, sel, op } => {
+            let r = rule_mut(p, rule)?;
+            let s = r
+                .sels
+                .get_mut(*sel)
+                .ok_or_else(|| PatchError::NoSuchSite(format!("{rule}: selection {sel}")))?;
+            s.op = *op;
+            Ok(())
+        }
+        Edit::SetSelectionExpr { rule, sel, side, expr } => {
+            let r = rule_mut(p, rule)?;
+            let s = r
+                .sels
+                .get_mut(*sel)
+                .ok_or_else(|| PatchError::NoSuchSite(format!("{rule}: selection {sel}")))?;
+            match side {
+                ExprSide::Lhs => s.lhs = expr.clone(),
+                ExprSide::Rhs => s.rhs = expr.clone(),
+            }
+            Ok(())
+        }
+        Edit::DeleteSelection { rule, sel } => {
+            let r = rule_mut(p, rule)?;
+            if *sel >= r.sels.len() {
+                return Err(PatchError::NoSuchSite(format!("{rule}: selection {sel}")));
+            }
+            r.sels.remove(*sel);
+            Ok(())
+        }
+        Edit::DeletePredicate { rule, pred } => {
+            let r = rule_mut(p, rule)?;
+            if *pred >= r.body.len() {
+                return Err(PatchError::NoSuchSite(format!("{rule}: predicate {pred}")));
+            }
+            if r.body.len() == 1 {
+                return Err(PatchError::WouldBreakSyntax(format!(
+                    "rule `{rule}` would have an empty body"
+                )));
+            }
+            r.body.remove(*pred);
+            Ok(())
+        }
+        Edit::SetAssignExpr { rule, var, expr } => {
+            let r = rule_mut(p, rule)?;
+            let a = r
+                .assigns
+                .iter_mut()
+                .find(|a| &a.var == var)
+                .ok_or_else(|| PatchError::NoSuchSite(format!("{rule}: assignment to {var}")))?;
+            a.expr = expr.clone();
+            Ok(())
+        }
+        Edit::SetHeadArg { rule, idx, term } => {
+            let r = rule_mut(p, rule)?;
+            let slot = r
+                .head
+                .args
+                .get_mut(*idx)
+                .ok_or_else(|| PatchError::NoSuchSite(format!("{rule}: head arg {idx}")))?;
+            *slot = term.clone();
+            Ok(())
+        }
+        Edit::SetHeadTable { rule, table } => {
+            let r = rule_mut(p, rule)?;
+            r.head.table = table.clone();
+            Ok(())
+        }
+        Edit::AddRule { rule } => {
+            if p.rule(&rule.id).is_some() {
+                return Err(PatchError::WouldBreakSyntax(format!(
+                    "duplicate rule id `{}`",
+                    rule.id
+                )));
+            }
+            p.rules.push(rule.clone());
+            Ok(())
+        }
+        Edit::DeleteRule { rule } => {
+            let before = p.rules.len();
+            p.rules.retain(|r| &r.id != rule);
+            if p.rules.len() == before {
+                return Err(PatchError::NoSuchRule(rule.clone()));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn set_const(r: &mut Rule, site: &ConstSite, value: Value) -> Result<(), PatchError> {
+    let missing = || PatchError::NoSuchSite(format!("{}: {site}", r.id));
+    match site {
+        ConstSite::Selection { idx, side, path } => {
+            let sel = r.sels.get_mut(*idx).ok_or_else(missing)?;
+            let e = match side {
+                ExprSide::Lhs => sel.lhs.at_path_mut(path),
+                ExprSide::Rhs => sel.rhs.at_path_mut(path),
+            }
+            .ok_or_else(missing)?;
+            if !matches!(e, Expr::Const(_)) {
+                return Err(missing());
+            }
+            *e = Expr::Const(value);
+            Ok(())
+        }
+        ConstSite::Assign { idx, path } => {
+            let a = r.assigns.get_mut(*idx).ok_or_else(missing)?;
+            let e = a.expr.at_path_mut(path).ok_or_else(missing)?;
+            if !matches!(e, Expr::Const(_)) {
+                return Err(missing());
+            }
+            *e = Expr::Const(value);
+            Ok(())
+        }
+        ConstSite::HeadArg { idx } => {
+            let t = r.head.args.get_mut(*idx).ok_or_else(missing)?;
+            if !matches!(t, Term::Const(_)) {
+                return Err(missing());
+            }
+            *t = Term::Const(value);
+            Ok(())
+        }
+        ConstSite::BodyArg { pred, arg } => {
+            let a: &mut Atom = r.body.get_mut(*pred).ok_or_else(missing)?;
+            let t = a.args.get_mut(*arg).ok_or_else(missing)?;
+            if !matches!(t, Term::Const(_)) {
+                return Err(missing());
+            }
+            *t = Term::Const(value);
+            Ok(())
+        }
+    }
+}
+
+fn describe_one(p: &Program, e: &Edit) -> String {
+    match e {
+        Edit::SetConst { rule, site, value } => {
+            if let Some(r) = rule_ref(p, rule) {
+                if let ConstSite::Selection { idx, side, .. } = site {
+                    if let Some(sel) = r.sels.get(*idx) {
+                        let mut new_sel = sel.clone();
+                        match side {
+                            ExprSide::Lhs => new_sel.lhs = Expr::Const(value.clone()),
+                            ExprSide::Rhs => new_sel.rhs = Expr::Const(value.clone()),
+                        }
+                        return format!("Changing {sel} in {rule} to {new_sel}");
+                    }
+                }
+                if let ConstSite::Assign { idx, .. } = site {
+                    if let Some(a) = r.assigns.get(*idx) {
+                        return format!(
+                            "Changing {} := {} in {rule} to {} := {value}",
+                            a.var, a.expr, a.var
+                        );
+                    }
+                }
+            }
+            format!("Changing constant at {site} in {rule} to {value}")
+        }
+        Edit::SetSelectionOp { rule, sel, op } => {
+            if let Some(s) = rule_ref(p, rule).and_then(|r| r.sels.get(*sel)) {
+                let mut ns = s.clone();
+                ns.op = *op;
+                format!("Changing {s} in {rule} to {ns}")
+            } else {
+                format!("Changing operator of selection {sel} in {rule} to {op}")
+            }
+        }
+        Edit::SetSelectionExpr { rule, sel, side, expr } => {
+            if let Some(s) = rule_ref(p, rule).and_then(|r| r.sels.get(*sel)) {
+                let mut ns = s.clone();
+                match side {
+                    ExprSide::Lhs => ns.lhs = expr.clone(),
+                    ExprSide::Rhs => ns.rhs = expr.clone(),
+                }
+                format!("Changing {s} in {rule} to {ns}")
+            } else {
+                format!("Changing selection {sel} in {rule} to {expr}")
+            }
+        }
+        Edit::DeleteSelection { rule, sel } => {
+            if let Some(s) = rule_ref(p, rule).and_then(|r| r.sels.get(*sel)) {
+                format!("Deleting {s} in {rule}")
+            } else {
+                format!("Deleting selection {sel} in {rule}")
+            }
+        }
+        Edit::DeletePredicate { rule, pred } => {
+            if let Some(a) = rule_ref(p, rule).and_then(|r| r.body.get(*pred)) {
+                format!("Deleting predicate {} in {rule}", a.table)
+            } else {
+                format!("Deleting predicate {pred} in {rule}")
+            }
+        }
+        Edit::SetAssignExpr { rule, var, expr } => {
+            if let Some(a) =
+                rule_ref(p, rule).and_then(|r| r.assigns.iter().find(|a| &a.var == var))
+            {
+                format!("Changing {} := {} in {rule} to {} := {expr}", a.var, a.expr, var)
+            } else {
+                format!("Changing assignment to {var} in {rule} to {expr}")
+            }
+        }
+        Edit::SetHeadArg { rule, idx, term } => {
+            format!("Changing head argument {idx} of {rule} to {term}")
+        }
+        Edit::SetHeadTable { rule, table } => {
+            format!("Changing the head of {rule} to {table}(...)")
+        }
+        Edit::AddRule { rule } => format!("Adding rule: {rule}"),
+        Edit::DeleteRule { rule } => format!("Deleting rule {rule}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_rule};
+
+    fn fig2() -> Program {
+        parse_program(
+            "fig2",
+            r"
+            r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+            r6 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 53, Prt := 2.
+            r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 2.
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidate_b_changes_constant() {
+        // Table 2 candidate B: Swi==2 in r7 → Swi==3.
+        let p = fig2();
+        let patch = Patch::single(Edit::SetConst {
+            rule: "r7".into(),
+            site: ConstSite::Selection { idx: 0, side: ExprSide::Rhs, path: vec![] },
+            value: Value::Int(3),
+        });
+        assert_eq!(patch.describe(&p), "Changing Swi == 2 in r7 to Swi == 3");
+        let p2 = patch.apply(&p).unwrap();
+        assert_eq!(p2.rule("r7").unwrap().sels[0].sid(), "Swi == 3");
+        // original untouched
+        assert_eq!(p.rule("r7").unwrap().sels[0].sid(), "Swi == 2");
+    }
+
+    #[test]
+    fn candidate_c_changes_operator() {
+        let p = fig2();
+        let patch = Patch::single(Edit::SetSelectionOp { rule: "r7".into(), sel: 0, op: CmpOp::Ne });
+        assert_eq!(patch.describe(&p), "Changing Swi == 2 in r7 to Swi != 2");
+        let p2 = patch.apply(&p).unwrap();
+        assert_eq!(p2.rule("r7").unwrap().sels[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn candidate_g_deletes_two_selections() {
+        // "Deleting Swi==2 and Dpt==53 in r6" — indices 0 and 1.
+        let p = fig2();
+        let patch = Patch::of(vec![
+            Edit::DeleteSelection { rule: "r6".into(), sel: 0 },
+            Edit::DeleteSelection { rule: "r6".into(), sel: 1 },
+        ]);
+        assert_eq!(patch.describe(&p), "Deleting Swi == 2 in r6; Deleting Hdr == 53 in r6");
+        let p2 = patch.apply(&p).unwrap();
+        assert!(p2.rule("r6").unwrap().sels.is_empty());
+    }
+
+    #[test]
+    fn deleting_last_predicate_is_rejected() {
+        let p = fig2();
+        let patch = Patch::single(Edit::DeletePredicate { rule: "r7".into(), pred: 0 });
+        assert!(matches!(patch.apply(&p), Err(PatchError::WouldBreakSyntax(_))));
+    }
+
+    #[test]
+    fn head_retarget_and_add_rule() {
+        let mut p = fig2();
+        p.rules.push(
+            parse_rule("e2 PacketOut(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 9, Prt := 1.")
+                .unwrap(),
+        );
+        let patch = Patch::single(Edit::SetHeadTable { rule: "r5".into(), table: "PacketOut".into() });
+        let p2 = patch.apply(&p).unwrap();
+        assert_eq!(p2.rule("r5").unwrap().head.table, "PacketOut");
+
+        // Copy-rule repair: copy r5 under a fresh id with a new head.
+        let mut copy = p.rule("r5").unwrap().clone();
+        copy.id = "r5_copy".into();
+        copy.head.table = "PacketOut".into();
+        let patch = Patch::single(Edit::AddRule { rule: copy });
+        let p3 = patch.apply(&p).unwrap();
+        assert_eq!(p3.rules.len(), p.rules.len() + 1);
+        assert!(p3.rule("r5_copy").is_some());
+
+        // Duplicate id rejected.
+        let dup = p.rule("r5").unwrap().clone();
+        assert!(Patch::single(Edit::AddRule { rule: dup }).apply(&p).is_err());
+    }
+
+    #[test]
+    fn errors_on_missing_sites() {
+        let p = fig2();
+        assert!(matches!(
+            Patch::single(Edit::DeleteRule { rule: "zz".into() }).apply(&p),
+            Err(PatchError::NoSuchRule(_))
+        ));
+        assert!(matches!(
+            Patch::single(Edit::DeleteSelection { rule: "r7".into(), sel: 9 }).apply(&p),
+            Err(PatchError::NoSuchSite(_))
+        ));
+        assert!(matches!(
+            Patch::single(Edit::SetAssignExpr {
+                rule: "r7".into(),
+                var: "Nope".into(),
+                expr: Expr::int(1)
+            })
+            .apply(&p),
+            Err(PatchError::NoSuchSite(_))
+        ));
+        assert!(matches!(
+            Patch::single(Edit::SetConst {
+                rule: "r7".into(),
+                site: ConstSite::Selection { idx: 0, side: ExprSide::Lhs, path: vec![] },
+                value: Value::Int(1)
+            })
+            .apply(&p),
+            Err(PatchError::NoSuchSite(_)) // lhs is a variable, not a constant
+        ));
+    }
+
+    #[test]
+    fn touched_rules_are_deduped_and_sorted() {
+        let patch = Patch::of(vec![
+            Edit::DeleteSelection { rule: "r7".into(), sel: 0 },
+            Edit::SetSelectionOp { rule: "r5".into(), sel: 0, op: CmpOp::Gt },
+            Edit::DeleteSelection { rule: "r7".into(), sel: 1 },
+        ]);
+        assert_eq!(patch.touched_rules(), vec!["r5".to_string(), "r7".to_string()]);
+    }
+
+    #[test]
+    fn variable_swap_description() {
+        // Table 6a candidate J: Changing Sip<6 in r1 to Dpt<6.
+        let p = parse_program(
+            "q2",
+            "r1 FlowTable(@Swi,Sip,Prt) :- PacketIn(@C,Swi,Sip,Dpt), Sip < 6, Prt := 1.",
+        )
+        .unwrap();
+        let patch = Patch::single(Edit::SetSelectionExpr {
+            rule: "r1".into(),
+            sel: 0,
+            side: ExprSide::Lhs,
+            expr: Expr::var("Dpt"),
+        });
+        assert_eq!(patch.describe(&p), "Changing Sip < 6 in r1 to Dpt < 6");
+        assert!(patch.apply(&p).is_ok());
+    }
+}

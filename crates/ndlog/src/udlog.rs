@@ -1,0 +1,159 @@
+//! µDlog — the restricted toy dialect of Fig. 3.
+//!
+//! µDlog is NDlog with: two payload columns per table, one or two body
+//! predicates, at most two selection predicates, operators drawn from
+//! `{==, !=, <, >}`, and integers as the only data type. The paper notes
+//! that the Fig. 2 controller program "happens to already be a valid µDlog
+//! program"; we relax "exactly two selection predicates" to "one or two"
+//! accordingly (Fig. 2's `r1` has a single selection).
+
+use crate::ast::{CmpOp, Expr, Program, Rule, Term};
+use crate::value::Value;
+
+/// Maximum payload arity of a µDlog table.
+pub const UDLOG_ARITY: usize = 2;
+/// Maximum number of body predicates in a µDlog rule.
+pub const UDLOG_MAX_PREDS: usize = 2;
+/// Maximum number of selection predicates in a µDlog rule.
+pub const UDLOG_MAX_SELS: usize = 2;
+
+/// Check whether `program` is valid µDlog; returns the list of violations
+/// (empty means valid).
+pub fn violations(program: &Program) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in &program.rules {
+        rule_violations(r, &mut out);
+    }
+    out
+}
+
+/// `true` when the program conforms to the µDlog grammar.
+pub fn is_udlog(program: &Program) -> bool {
+    violations(program).is_empty()
+}
+
+fn rule_violations(r: &Rule, out: &mut Vec<String>) {
+    if r.body.is_empty() || r.body.len() > UDLOG_MAX_PREDS {
+        out.push(format!(
+            "rule `{}`: µDlog rules have 1..={UDLOG_MAX_PREDS} body predicates, found {}",
+            r.id,
+            r.body.len()
+        ));
+    }
+    if r.sels.len() > UDLOG_MAX_SELS {
+        out.push(format!(
+            "rule `{}`: µDlog rules have at most {UDLOG_MAX_SELS} selections, found {}",
+            r.id,
+            r.sels.len()
+        ));
+    }
+    for atom in std::iter::once(&r.head).chain(r.body.iter()) {
+        if atom.args.len() != UDLOG_ARITY {
+            out.push(format!(
+                "rule `{}`: table `{}` has {} columns, µDlog requires {UDLOG_ARITY}",
+                r.id,
+                atom.table,
+                atom.args.len()
+            ));
+        }
+        for t in &atom.args {
+            if let Term::Const(v) = t {
+                if !matches!(v, Value::Int(_)) {
+                    out.push(format!(
+                        "rule `{}`: non-integer constant `{v}` (µDlog is integer-only)",
+                        r.id
+                    ));
+                }
+            }
+            if matches!(t, Term::Agg(..)) {
+                out.push(format!("rule `{}`: aggregates are not µDlog", r.id));
+            }
+        }
+    }
+    for s in &r.sels {
+        if !CmpOp::UDLOG.contains(&s.op) {
+            out.push(format!(
+                "rule `{}`: operator `{}` is not in µDlog's {{==, !=, <, >}}",
+                r.id, s.op
+            ));
+        }
+        for e in [&s.lhs, &s.rhs] {
+            expr_violations(&r.id, e, out);
+        }
+    }
+    for a in &r.assigns {
+        expr_violations(&r.id, &a.expr, out);
+    }
+}
+
+fn expr_violations(rule: &str, e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Const(Value::Int(_)) | Expr::Var(_) => {}
+        Expr::Const(v) => {
+            out.push(format!("rule `{rule}`: non-integer constant `{v}` (µDlog is integer-only)"))
+        }
+        Expr::Binary(_, l, r) => {
+            expr_violations(rule, l, out);
+            expr_violations(rule, r, out);
+        }
+        Expr::Call(name, _) => {
+            out.push(format!("rule `{rule}`: built-in `{name}` is not µDlog"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn fig2_is_valid_udlog() {
+        let p = parse_program(
+            "fig2",
+            r"
+            r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), WebLoadBalancer(@C,Hdr,Prt), Swi == 1.
+            r2 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr == 53, Prt := 2.
+            r3 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr != 53, Prt := -1.
+            r4 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr != 80, Prt := -1.
+            r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+            r6 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 53, Prt := 2.
+            r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 2.
+            ",
+        )
+        .unwrap();
+        assert!(is_udlog(&p), "{:?}", violations(&p));
+    }
+
+    #[test]
+    fn rejects_wide_tables() {
+        let p = parse_program("t", "x T(@A,B,C,D) :- S(@A,B,C,D), B == 1.").unwrap();
+        assert!(!is_udlog(&p));
+        assert!(violations(&p)[0].contains("columns"));
+    }
+
+    #[test]
+    fn rejects_le_ge_operators() {
+        let p = parse_program("t", "x T(@A,B,C) :- S(@A,B,C), B <= 1.").unwrap();
+        let v = violations(&p);
+        assert!(v.iter().any(|m| m.contains("<=")));
+    }
+
+    #[test]
+    fn rejects_non_integer_and_builtins() {
+        let p = parse_program("t", "x T(@A,B,C) :- S(@A,B,C), B == 'str'.").unwrap();
+        assert!(!is_udlog(&p));
+        let p = parse_program("t", "x T(@A,B,C) :- S(@A,B,C), B == 1, C := f_unique().").unwrap();
+        assert!(!is_udlog(&p));
+    }
+
+    #[test]
+    fn rejects_too_many_predicates_or_selections() {
+        let p = parse_program("t", "x T(@A,B,C) :- S(@A,B,C), U(@A,B,C), V(@A,B,C), B == 1.")
+            .unwrap();
+        assert!(violations(&p).iter().any(|m| m.contains("body predicates")));
+        let p =
+            parse_program("t", "x T(@A,B,C) :- S(@A,B,C), B == 1, B != 2, C == 3.").unwrap();
+        assert!(violations(&p).iter().any(|m| m.contains("selections")));
+    }
+}

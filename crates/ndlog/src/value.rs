@@ -1,0 +1,192 @@
+//! Runtime values of the NDlog data model.
+//!
+//! µDlog (the toy language of §3) only has integers; full NDlog programs in
+//! this workspace additionally use strings (table/rule identifiers inside
+//! meta tuples, action names), booleans (selection results inside the meta
+//! model) and the join-ID wildcard `*` from Fig. 4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A first-class NDlog value.
+///
+/// `Value` is totally ordered so tuples can live in ordered indices; the
+/// ordering across variants is arbitrary but stable (Int < Str < Bool <
+/// Wild).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer — the only µDlog type.
+    Int(i64),
+    /// An interned-ish string (rule ids, table names, MAC addresses...).
+    Str(String),
+    /// A boolean, used by the meta model for selection outcomes.
+    Bool(bool),
+    /// The join-ID wildcard `*` of the meta model (Fig. 4): matches any
+    /// join ID under [`Value::matches_wild`].
+    Wild,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` when the value is the wildcard `*`.
+    pub fn is_wild(&self) -> bool {
+        matches!(self, Value::Wild)
+    }
+
+    /// Wildcard-aware equality: the meta model's `f_match(a, b)` — true iff
+    /// `a == b` or either side is `*` (Fig. 4, §3.2).
+    pub fn matches_wild(&self, other: &Value) -> bool {
+        self.is_wild() || other.is_wild() || self == other
+    }
+
+    /// The meta model's `f_join(a, b)`: returns `a` if `b` is `*`, else `b`.
+    ///
+    /// Used to resolve the concrete join ID when one operand of a selection
+    /// came from a constant (whose `Expr` meta tuple carries `JID = *`).
+    pub fn join_wild(&self, other: &Value) -> Value {
+        if other.is_wild() {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+
+    /// A short type tag, mirroring the `Typ` columns of the full NDlog meta
+    /// model (Appendix B.1).
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+            Value::Wild => "wild",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => {
+                // Bare identifiers print unquoted; anything else is quoted so
+                // the pretty-printer round-trips through the parser.
+                if !s.is_empty()
+                    && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "'{s}'")
+                }
+            }
+            Value::Bool(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+            Value::Wild => write!(f, "*"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_matching_is_symmetric_and_reflexive() {
+        let a = Value::Int(3);
+        let b = Value::Int(4);
+        assert!(a.matches_wild(&a));
+        assert!(!a.matches_wild(&b));
+        assert!(Value::Wild.matches_wild(&a));
+        assert!(a.matches_wild(&Value::Wild));
+        assert!(Value::Wild.matches_wild(&Value::Wild));
+    }
+
+    #[test]
+    fn join_prefers_concrete_side() {
+        let j = Value::Int(42);
+        assert_eq!(j.join_wild(&Value::Wild), j);
+        assert_eq!(Value::Wild.join_wild(&j), j);
+        assert_eq!(j.join_wild(&Value::Int(7)), Value::Int(7));
+    }
+
+    #[test]
+    fn display_round_trips_bare_and_quoted_strings() {
+        assert_eq!(Value::str("output-1").to_string(), "output-1");
+        assert_eq!(Value::str("FlowTable").to_string(), "'FlowTable'");
+        assert_eq!(Value::str("Swi == 2").to_string(), "'Swi == 2'");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert!(Value::Wild.is_wild());
+        assert_eq!(Value::Int(1).type_tag(), "int");
+        assert_eq!(Value::str("s").type_tag(), "str");
+        assert_eq!(Value::Bool(false).type_tag(), "bool");
+        assert_eq!(Value::Wild.type_tag(), "wild");
+    }
+
+    #[test]
+    fn ordering_is_stable_across_variants() {
+        let mut vs = vec![Value::Wild, Value::Bool(false), Value::str("a"), Value::Int(9)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Int(9), Value::str("a"), Value::Bool(false), Value::Wild]
+        );
+    }
+}

@@ -1,0 +1,1269 @@
+//! The NDlog evaluation engine.
+//!
+//! Evaluation is *pipelined semi-naive* (the strategy RapidNet uses, and
+//! the one the paper's provenance model assumes): every inserted or derived
+//! tuple becomes a *delta* that is joined against the materialized state of
+//! the other predicates of each rule it can trigger. Derived state carries
+//! support counts so deletions cascade correctly (UNDERIVE/DISAPPEAR,
+//! §3.1); tables with declared primary keys follow NDlog's replacement
+//! semantics.
+//!
+//! Event tables (`materialize(..., event, ...)`) are transient: their
+//! tuples trigger rules at their instant of insertion but are never stored,
+//! and derivations triggered by an event do not retract when the event
+//! passes — this is exactly how a `PacketIn` installs a persistent
+//! `FlowTable` entry.
+
+use crate::log::{ExecEvent, ExecLog, Time, TupleId, TupleKind, TupleRecord};
+use crate::store::{AddOutcome, DropOutcome, Store};
+use mpr_ndlog::ast::{AggKind, Atom, Rule, Term};
+use mpr_ndlog::eval::{CountingFuncs, Env};
+use mpr_ndlog::{Program, Schema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Engine construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program failed [`Program::validate`].
+    InvalidProgram(String),
+    /// A selection references a variable bound nowhere.
+    UnboundSelectionVar {
+        /// Rule id.
+        rule: String,
+        /// The offending variable.
+        var: String,
+    },
+    /// An assignment uses a variable bound neither by the body nor by an
+    /// earlier assignment.
+    UnboundAssignVar {
+        /// Rule id.
+        rule: String,
+        /// The offending variable.
+        var: String,
+    },
+    /// Aggregate rules must have exactly one body predicate and the
+    /// aggregate as the last head argument.
+    BadAggregate {
+        /// Rule id.
+        rule: String,
+        /// Why the aggregate is malformed.
+        reason: String,
+    },
+    /// Aggregates may not range over event tables.
+    AggregateOverEvent {
+        /// Rule id.
+        rule: String,
+    },
+    /// Body atoms cannot contain aggregate terms.
+    AggInBody {
+        /// Rule id.
+        rule: String,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            CompileError::UnboundSelectionVar { rule, var } => {
+                write!(f, "rule `{rule}`: selection uses unbound variable `{var}`")
+            }
+            CompileError::UnboundAssignVar { rule, var } => {
+                write!(f, "rule `{rule}`: assignment uses unbound variable `{var}`")
+            }
+            CompileError::BadAggregate { rule, reason } => {
+                write!(f, "rule `{rule}`: malformed aggregate: {reason}")
+            }
+            CompileError::AggregateOverEvent { rule } => {
+                write!(f, "rule `{rule}`: aggregate over event table")
+            }
+            CompileError::AggInBody { rule } => {
+                write!(f, "rule `{rule}`: aggregate term in body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Runtime failure (resource exhaustion — evaluation itself is total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The derivation budget was exceeded (runaway recursion guard).
+    DerivationLimit(u64),
+    /// Arity of an inserted tuple does not match its table's prior use.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Expected payload arity.
+        expected: usize,
+        /// Actual payload arity.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::DerivationLimit(n) => write!(f, "derivation limit exceeded ({n})"),
+            RuntimeError::ArityMismatch { table, expected, got } => {
+                write!(f, "tuple arity mismatch for `{table}`: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Engine options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Record provenance events (§5.4 measures the cost of turning this on).
+    pub record_events: bool,
+    /// Hard cap on total derivations, as a runaway guard.
+    pub max_derivations: u64,
+    /// Seed for `f_unique()` so runs are reproducible.
+    pub unique_seed: i64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { record_events: true, max_derivations: 50_000_000, unique_seed: 1000 }
+    }
+}
+
+/// What changed during one externally driven step.
+#[derive(Debug, Clone, Default)]
+pub struct StepResult {
+    /// Tuples that appeared (including transient event derivations).
+    pub appeared: Vec<Tuple>,
+    /// Tuples that disappeared.
+    pub disappeared: Vec<Tuple>,
+    /// Number of rule firings in this step.
+    pub derivations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct AggSpec {
+    kind: AggKind,
+    /// Variable under the aggregate.
+    value_var: String,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    rule: Rule,
+    /// Is the head an event table?
+    head_is_event: bool,
+    /// Variable sets per selection (for earliest evaluation).
+    sel_vars: Vec<BTreeSet<String>>,
+    /// Aggregate spec, if the head carries one.
+    agg: Option<AggSpec>,
+}
+
+#[derive(Debug)]
+struct DerivRecord {
+    rule_idx: usize,
+    head_tid: TupleId,
+    head: Tuple,
+    body_tids: Vec<TupleId>,
+    origin: Value,
+    active: bool,
+}
+
+#[derive(Debug, Default)]
+struct AggGroup {
+    /// Multiset of contributed values.
+    values: BTreeMap<Value, usize>,
+    /// Current emitted head tuple, if any.
+    emitted: Option<Tuple>,
+}
+
+/// The engine. See the module docs for semantics.
+pub struct Engine {
+    rules: Vec<CompiledRule>,
+    /// table → (rule index, body atom index) that the table can trigger.
+    triggers: HashMap<String, Vec<(usize, usize)>>,
+    store: Store,
+    log: ExecLog,
+    opts: Options,
+    funcs: CountingFuncs,
+    time: Time,
+    next_tid: TupleId,
+    records: Vec<DerivRecord>,
+    by_body: HashMap<TupleId, Vec<usize>>,
+    agg_groups: HashMap<(usize, Vec<Value>), AggGroup>,
+    agg_contrib: HashMap<TupleId, Vec<(usize, Vec<Value>, Value)>>,
+    total_derivations: u64,
+}
+
+impl Engine {
+    /// Compile `program` with default options.
+    pub fn new(program: &Program) -> Result<Self, CompileError> {
+        Self::with_options(program, Options::default())
+    }
+
+    /// Compile `program`.
+    pub fn with_options(program: &Program, opts: Options) -> Result<Self, CompileError> {
+        program.validate().map_err(CompileError::InvalidProgram)?;
+        let is_event = |table: &str| {
+            program
+                .catalog
+                .get(table)
+                .map(|s| !s.is_state())
+                .unwrap_or(false)
+        };
+        let mut rules = Vec::new();
+        let mut triggers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        let mut store = Store::new();
+        for s in program.catalog.iter() {
+            store.declare(s.clone());
+        }
+        for (ri, rule) in program.rules.iter().enumerate() {
+            // -- static checks --------------------------------------------
+            let mut bound: BTreeSet<String> = rule.body_vars();
+            for a in &rule.assigns {
+                for v in a.expr.vars() {
+                    if !bound.contains(&v) {
+                        return Err(CompileError::UnboundAssignVar { rule: rule.id.clone(), var: v });
+                    }
+                }
+                bound.insert(a.var.clone());
+            }
+            for s in &rule.sels {
+                for v in s.vars() {
+                    if !bound.contains(&v) {
+                        return Err(CompileError::UnboundSelectionVar {
+                            rule: rule.id.clone(),
+                            var: v,
+                        });
+                    }
+                }
+            }
+            for b in &rule.body {
+                if b.has_agg() {
+                    return Err(CompileError::AggInBody { rule: rule.id.clone() });
+                }
+            }
+            // -- aggregates ------------------------------------------------
+            let agg = if rule.is_aggregate() {
+                let n_aggs =
+                    rule.head.args.iter().filter(|t| matches!(t, Term::Agg(..))).count();
+                if n_aggs != 1 {
+                    return Err(CompileError::BadAggregate {
+                        rule: rule.id.clone(),
+                        reason: "exactly one aggregate argument is supported".into(),
+                    });
+                }
+                match rule.head.args.last() {
+                    Some(Term::Agg(kind, var)) => {
+                        if rule.body.len() != 1 {
+                            return Err(CompileError::BadAggregate {
+                                rule: rule.id.clone(),
+                                reason: "aggregate rules take exactly one body predicate".into(),
+                            });
+                        }
+                        if is_event(&rule.body[0].table) {
+                            return Err(CompileError::AggregateOverEvent { rule: rule.id.clone() });
+                        }
+                        Some(AggSpec { kind: *kind, value_var: var.clone() })
+                    }
+                    _ => {
+                        return Err(CompileError::BadAggregate {
+                            rule: rule.id.clone(),
+                            reason: "the aggregate must be the last head argument".into(),
+                        })
+                    }
+                }
+            } else {
+                None
+            };
+            // Aggregate heads are keyed on the group columns so updates
+            // replace rather than accumulate.
+            if agg.is_some() {
+                let arity = rule.head.args.len();
+                store.declare(Schema::state_keyed(
+                    rule.head.table.clone(),
+                    arity,
+                    (0..arity - 1).collect(),
+                ));
+            }
+            for (ai, atom) in rule.body.iter().enumerate() {
+                triggers.entry(atom.table.clone()).or_default().push((ri, ai));
+            }
+            rules.push(CompiledRule {
+                head_is_event: is_event(&rule.head.table),
+                sel_vars: rule.sels.iter().map(|s| s.vars()).collect(),
+                agg,
+                rule: rule.clone(),
+            });
+        }
+        let funcs = CountingFuncs::starting_at(opts.unique_seed);
+        Ok(Engine {
+            rules,
+            triggers,
+            store,
+            log: ExecLog::default(),
+            opts,
+            funcs,
+            time: 0,
+            next_tid: 0,
+            records: Vec::new(),
+            by_body: HashMap::new(),
+            agg_groups: HashMap::new(),
+            agg_contrib: HashMap::new(),
+            total_derivations: 0,
+        })
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// The execution log.
+    pub fn log(&self) -> &ExecLog {
+        &self.log
+    }
+
+    /// Take ownership of the log, leaving an empty one.
+    pub fn take_log(&mut self) -> ExecLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Total rule firings so far.
+    pub fn total_derivations(&self) -> u64 {
+        self.total_derivations
+    }
+
+    /// `true` if the exact tuple is currently live.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.store.contains(t)
+    }
+
+    /// Live tuples of `table`, sorted.
+    pub fn tuples(&self, table: &str) -> Vec<Tuple> {
+        self.store.tuples(table)
+    }
+
+    /// Live tuples of `table` at `node`, sorted.
+    pub fn tuples_at(&self, node: &Value, table: &str) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> =
+            self.store.scan(table, Some(node)).map(|l| l.tuple.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Number of live tuples across all tables.
+    pub fn tuple_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Insert a base tuple and run to fixpoint.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<StepResult, RuntimeError> {
+        self.time += 1;
+        let mut result = StepResult::default();
+        let schema = self.store.schema_for(&tuple.table, tuple.args.len());
+        if schema.arity != tuple.args.len() {
+            return Err(RuntimeError::ArityMismatch {
+                table: tuple.table.clone(),
+                expected: schema.arity,
+                got: tuple.args.len(),
+            });
+        }
+        let mut queue = VecDeque::new();
+        if schema.is_state() {
+            self.add_support(&tuple, true, None, &mut queue, &mut result)?;
+        } else {
+            // Transient event: exists for this instant only.
+            let tid = self.mint(&tuple, TupleKind::Event);
+            self.log_event(ExecEvent::InsertBase { time: self.time, tid });
+            self.log_event(ExecEvent::Appear { time: self.time, tid });
+            self.close_record(tid);
+            self.log_event(ExecEvent::Disappear { time: self.time, tid });
+            result.appeared.push(tuple.clone());
+            queue.push_back((tid, tuple));
+        }
+        self.drain(queue, &mut result)?;
+        Ok(result)
+    }
+
+    /// Insert many base tuples (fixpoint after each).
+    pub fn insert_all<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        tuples: I,
+    ) -> Result<StepResult, RuntimeError> {
+        let mut total = StepResult::default();
+        for t in tuples {
+            let r = self.insert(t)?;
+            total.appeared.extend(r.appeared);
+            total.disappeared.extend(r.disappeared);
+            total.derivations += r.derivations;
+        }
+        Ok(total)
+    }
+
+    /// Delete a base tuple (one unit of base support) and cascade.
+    pub fn delete(&mut self, tuple: &Tuple) -> Result<StepResult, RuntimeError> {
+        self.time += 1;
+        let mut result = StepResult::default();
+        match self.store.drop_support(tuple, true) {
+            DropOutcome::Absent => {}
+            DropOutcome::StillAlive => {
+                if let Some(live) = self.store.get(tuple) {
+                    let tid = live.tid;
+                    self.log_event(ExecEvent::DeleteBase { time: self.time, tid });
+                }
+            }
+            DropOutcome::Gone(tid) => {
+                self.log_event(ExecEvent::DeleteBase { time: self.time, tid });
+                self.kill(tid, tuple.clone(), &mut result)?;
+            }
+        }
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn mint(&mut self, tuple: &Tuple, kind: TupleKind) -> TupleId {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.log.tuples.push(TupleRecord {
+            tid,
+            tuple: tuple.clone(),
+            appear: self.time,
+            disappear: None,
+            kind,
+        });
+        tid
+    }
+
+    fn close_record(&mut self, tid: TupleId) {
+        self.log.tuples[tid as usize].disappear = Some(self.time);
+    }
+
+    fn log_event(&mut self, e: ExecEvent) {
+        if self.opts.record_events {
+            self.log.events.push(e);
+        }
+    }
+
+    /// Add one unit of support (base or derived) for a *state* tuple.
+    fn add_support(
+        &mut self,
+        tuple: &Tuple,
+        base: bool,
+        derive: Option<(usize, Vec<TupleId>, Value)>,
+        queue: &mut VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        let kind = if base { TupleKind::Base } else { TupleKind::Derived };
+        let mut fresh: Option<TupleId> = None;
+        let outcome = {
+            let next_tid = &mut self.next_tid;
+            let pending = &mut fresh;
+            self.store.add(tuple, base, &mut || {
+                let tid = *next_tid;
+                *next_tid += 1;
+                *pending = Some(tid);
+                tid
+            })
+        };
+        // If a fresh tid was minted inside the store, register its record.
+        if let Some(tid) = fresh {
+            debug_assert_eq!(tid as usize, self.log.tuples.len());
+            self.log.tuples.push(TupleRecord {
+                tid,
+                tuple: tuple.clone(),
+                appear: self.time,
+                disappear: None,
+                kind,
+            });
+        }
+        match outcome {
+            AddOutcome::New(tid) => {
+                self.announce(tid, tuple, base, derive, result);
+                queue.push_back((tid, tuple.clone()));
+            }
+            AddOutcome::SupportOnly(tid) => {
+                // No visible change; log the derivation/insert itself.
+                if base {
+                    self.log_event(ExecEvent::InsertBase { time: self.time, tid });
+                } else if let Some((rule_idx, body, origin)) = derive {
+                    self.register_derivation(rule_idx, tid, tuple.clone(), body, origin);
+                }
+            }
+            AddOutcome::Replaced { old, new } => {
+                // The evicted instance dies with a full cascade, then the
+                // replacement appears.
+                let old_tuple = self.log.tuples[old as usize].tuple.clone();
+                self.kill_replaced(old, old_tuple, result)?;
+                self.announce(new, tuple, base, derive, result);
+                queue.push_back((new, tuple.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    fn announce(
+        &mut self,
+        tid: TupleId,
+        tuple: &Tuple,
+        base: bool,
+        derive: Option<(usize, Vec<TupleId>, Value)>,
+        result: &mut StepResult,
+    ) {
+        if base {
+            self.log_event(ExecEvent::InsertBase { time: self.time, tid });
+        } else if let Some((rule_idx, body, origin)) = derive {
+            self.register_derivation(rule_idx, tid, tuple.clone(), body, origin);
+        }
+        self.log_event(ExecEvent::Appear { time: self.time, tid });
+        result.appeared.push(tuple.clone());
+    }
+
+    fn register_derivation(
+        &mut self,
+        rule_idx: usize,
+        head_tid: TupleId,
+        head: Tuple,
+        body_tids: Vec<TupleId>,
+        origin: Value,
+    ) {
+        self.log_event(ExecEvent::Derive {
+            time: self.time,
+            rule: self.rules[rule_idx].rule.id.clone(),
+            head: head_tid,
+            body: body_tids.clone(),
+        });
+        // Cross-node install: SEND/RECEIVE vertices.
+        if head.loc != origin {
+            self.log_event(ExecEvent::Send {
+                time: self.time,
+                from: origin.clone(),
+                to: head.loc.clone(),
+                tid: head_tid,
+                positive: true,
+            });
+            self.log_event(ExecEvent::Receive {
+                time: self.time,
+                from: origin.clone(),
+                to: head.loc.clone(),
+                tid: head_tid,
+                positive: true,
+            });
+        }
+        // Only state body tuples can later retract the head.
+        let state_body: Vec<TupleId> = body_tids
+            .iter()
+            .copied()
+            .filter(|tid| self.log.tuples[*tid as usize].kind != TupleKind::Event)
+            .collect();
+        let rec = DerivRecord { rule_idx, head_tid, head, body_tids, origin, active: true };
+        let idx = self.records.len();
+        self.records.push(rec);
+        for tid in state_body {
+            self.by_body.entry(tid).or_default().push(idx);
+        }
+    }
+
+    /// Kill a tuple instance that lost all support: cascade retractions.
+    fn kill(&mut self, tid: TupleId, tuple: Tuple, result: &mut StepResult) -> Result<(), RuntimeError> {
+        self.close_record(tid);
+        self.log_event(ExecEvent::Disappear { time: self.time, tid });
+        result.disappeared.push(tuple.clone());
+        // Deactivate derivations that produced this tuple (it is gone).
+        for rec in &mut self.records {
+            if rec.active && rec.head_tid == tid {
+                rec.active = false;
+            }
+        }
+        // Retract derivations this tuple participated in.
+        let dependents: Vec<usize> = self.by_body.remove(&tid).unwrap_or_default();
+        for ridx in dependents {
+            if !self.records[ridx].active {
+                continue;
+            }
+            self.records[ridx].active = false;
+            let (rule_idx, head_tid, head, body_tids, origin) = {
+                let r = &self.records[ridx];
+                (r.rule_idx, r.head_tid, r.head.clone(), r.body_tids.clone(), r.origin.clone())
+            };
+            self.log_event(ExecEvent::Underive {
+                time: self.time,
+                rule: self.rules[rule_idx].rule.id.clone(),
+                head: head_tid,
+                body: body_tids,
+            });
+            if head.loc != origin {
+                self.log_event(ExecEvent::Send {
+                    time: self.time,
+                    from: origin.clone(),
+                    to: head.loc.clone(),
+                    tid: head_tid,
+                    positive: false,
+                });
+                self.log_event(ExecEvent::Receive {
+                    time: self.time,
+                    from: origin,
+                    to: head.loc.clone(),
+                    tid: head_tid,
+                    positive: false,
+                });
+            }
+            match self.store.drop_support(&head, false) {
+                DropOutcome::Gone(gone_tid) => {
+                    debug_assert_eq!(gone_tid, head_tid);
+                    self.kill(head_tid, head, result)?;
+                }
+                DropOutcome::StillAlive | DropOutcome::Absent => {}
+            }
+        }
+        // Retract aggregate contributions.
+        if let Some(contribs) = self.agg_contrib.remove(&tid) {
+            for (rule_idx, group, value) in contribs {
+                self.agg_retract(rule_idx, group, value, result)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Kill an instance evicted by primary-key replacement (support is
+    /// already gone from the store).
+    fn kill_replaced(
+        &mut self,
+        tid: TupleId,
+        tuple: Tuple,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        self.kill(tid, tuple, result)
+    }
+
+    /// Propagate appearances until fixpoint.
+    fn drain(
+        &mut self,
+        mut queue: VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        while let Some((tid, tuple)) = queue.pop_front() {
+            // A tuple may have died while queued (replacement/cascade).
+            let rec = &self.log.tuples[tid as usize];
+            let still_relevant = rec.kind == TupleKind::Event || rec.disappear.is_none();
+            if !still_relevant {
+                continue;
+            }
+            let trigger_list = match self.triggers.get(&tuple.table) {
+                Some(l) => l.clone(),
+                None => continue,
+            };
+            for (rule_idx, atom_idx) in trigger_list {
+                if self.rules[rule_idx].agg.is_some() {
+                    self.agg_add(rule_idx, tid, &tuple, &mut queue, result)?;
+                } else {
+                    self.fire(rule_idx, atom_idx, tid, &tuple, &mut queue, result)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Try all joins of `rule` with the delta bound to body atom `atom_idx`.
+    fn fire(
+        &mut self,
+        rule_idx: usize,
+        atom_idx: usize,
+        delta_tid: TupleId,
+        delta: &Tuple,
+        queue: &mut VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        let cr = &self.rules[rule_idx];
+        let Some(env0) = match_atom(&cr.rule.body[atom_idx], delta, &Env::new()) else {
+            return Ok(());
+        };
+        // Join the remaining atoms left to right (skipping the delta slot).
+        let order: Vec<usize> =
+            (0..cr.rule.body.len()).filter(|&i| i != atom_idx).collect();
+        let n_sels = cr.rule.sels.len();
+        let mut sel_done = vec![false; n_sels];
+        // Evaluate selections satisfiable from the delta alone.
+        if !self.eval_ready_sels(rule_idx, &env0, &mut sel_done) {
+            return Ok(());
+        }
+        let mut matches: Vec<(Env, Vec<TupleId>, Vec<bool>)> =
+            vec![(env0, vec![delta_tid], sel_done)];
+        for &ai in &order {
+            let mut next: Vec<(Env, Vec<TupleId>, Vec<bool>)> = Vec::new();
+            for (env, tids, sels) in &matches {
+                // Candidate tuples: restrict to a node if the atom's
+                // location is already bound.
+                let atom = &self.rules[rule_idx].rule.body[ai];
+                let node_filter: Option<Value> = match &atom.loc {
+                    Term::Const(v) => Some(v.clone()),
+                    Term::Var(v) => env.get(v).cloned(),
+                    Term::Agg(..) => None,
+                };
+                let candidates: Vec<(TupleId, Tuple)> = self
+                    .store
+                    .scan(&atom.table, node_filter.as_ref())
+                    .map(|l| (l.tid, l.tuple.clone()))
+                    .collect();
+                for (ctid, ctuple) in candidates {
+                    if let Some(env2) = match_atom(&self.rules[rule_idx].rule.body[ai], &ctuple, env)
+                    {
+                        let mut sels2 = sels.clone();
+                        if !self.eval_ready_sels(rule_idx, &env2, &mut sels2) {
+                            continue;
+                        }
+                        let mut tids2 = tids.clone();
+                        tids2.push(ctid);
+                        next.push((env2, tids2, sels2));
+                    }
+                }
+            }
+            matches = next;
+            if matches.is_empty() {
+                return Ok(());
+            }
+        }
+        // Reorder body tids into body-atom order for the provenance log.
+        for (env, tids, sels) in matches {
+            let mut body_tids = vec![0; tids.len()];
+            body_tids[atom_idx] = tids[0];
+            for (slot, &ai) in order.iter().enumerate() {
+                body_tids[ai] = tids[slot + 1];
+            }
+            self.finish_firing(rule_idx, env, sels, body_tids, delta, queue, result)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate every not-yet-done selection whose variables are all bound.
+    /// Returns false if any evaluates to false (or errors).
+    fn eval_ready_sels(&mut self, rule_idx: usize, env: &Env, done: &mut [bool]) -> bool {
+        for i in 0..done.len() {
+            if done[i] {
+                continue;
+            }
+            let ready = self.rules[rule_idx].sel_vars[i]
+                .iter()
+                .all(|v| env.contains_key(v));
+            if ready {
+                let sel = self.rules[rule_idx].rule.sels[i].clone();
+                match sel.eval(env, &mut self.funcs) {
+                    Ok(true) => done[i] = true,
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Assignments, remaining selections, head construction, derivation.
+    fn finish_firing(
+        &mut self,
+        rule_idx: usize,
+        mut env: Env,
+        mut sel_done: Vec<bool>,
+        body_tids: Vec<TupleId>,
+        delta: &Tuple,
+        queue: &mut VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        self.total_derivations += 1;
+        result.derivations += 1;
+        if self.total_derivations > self.opts.max_derivations {
+            return Err(RuntimeError::DerivationLimit(self.opts.max_derivations));
+        }
+        let n_assigns = self.rules[rule_idx].rule.assigns.len();
+        for i in 0..n_assigns {
+            let assign = self.rules[rule_idx].rule.assigns[i].clone();
+            let Ok(v) = assign.expr.eval(&env, &mut self.funcs) else {
+                return Ok(()); // evaluation error → rule silently does not fire
+            };
+            match env.get(&assign.var) {
+                Some(existing) if existing != &v => return Ok(()), // rebind mismatch
+                _ => {
+                    env.insert(assign.var.clone(), v);
+                }
+            }
+            if !self.eval_ready_sels(rule_idx, &env, &mut sel_done) {
+                return Ok(());
+            }
+        }
+        if !sel_done.iter().all(|&d| d) {
+            // A selection never became ready — compile checks make this
+            // unreachable, but stay total.
+            return Ok(());
+        }
+        // Build the head tuple.
+        let head_atom = self.rules[rule_idx].rule.head.clone();
+        let Some(head) = instantiate(&head_atom, &env) else {
+            return Ok(());
+        };
+        let origin = delta.loc.clone();
+        if self.rules[rule_idx].head_is_event {
+            // Transient derived event.
+            let tid = self.mint(&head, TupleKind::Event);
+            self.log_event(ExecEvent::Derive {
+                time: self.time,
+                rule: self.rules[rule_idx].rule.id.clone(),
+                head: tid,
+                body: body_tids,
+            });
+            if head.loc != origin {
+                self.log_event(ExecEvent::Send {
+                    time: self.time,
+                    from: origin.clone(),
+                    to: head.loc.clone(),
+                    tid,
+                    positive: true,
+                });
+                self.log_event(ExecEvent::Receive {
+                    time: self.time,
+                    from: origin,
+                    to: head.loc.clone(),
+                    tid,
+                    positive: true,
+                });
+            }
+            self.log_event(ExecEvent::Appear { time: self.time, tid });
+            self.close_record(tid);
+            self.log_event(ExecEvent::Disappear { time: self.time, tid });
+            result.appeared.push(head.clone());
+            queue.push_back((tid, head));
+        } else {
+            self.add_support(&head, false, Some((rule_idx, body_tids, origin)), queue, result)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // aggregates
+
+    fn agg_add(
+        &mut self,
+        rule_idx: usize,
+        delta_tid: TupleId,
+        delta: &Tuple,
+        queue: &mut VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        let cr = &self.rules[rule_idx];
+        let Some(env) = match_atom(&cr.rule.body[0], delta, &Env::new()) else {
+            return Ok(());
+        };
+        let mut sel_done = vec![false; cr.rule.sels.len()];
+        if !self.eval_ready_sels(rule_idx, &env, &mut sel_done) {
+            return Ok(());
+        }
+        if !sel_done.iter().all(|&d| d) {
+            return Ok(());
+        }
+        let spec = self.rules[rule_idx].agg.clone().unwrap();
+        let Some(value) = env.get(&spec.value_var).cloned() else {
+            return Ok(());
+        };
+        let Some(group) = self.agg_group_key(rule_idx, &env) else {
+            return Ok(());
+        };
+        let g = self.agg_groups.entry((rule_idx, group.clone())).or_default();
+        *g.values.entry(value.clone()).or_insert(0) += 1;
+        self.agg_contrib
+            .entry(delta_tid)
+            .or_default()
+            .push((rule_idx, group.clone(), value));
+        self.agg_emit(rule_idx, group, delta_tid, delta.loc.clone(), queue, result)
+    }
+
+    fn agg_retract(
+        &mut self,
+        rule_idx: usize,
+        group: Vec<Value>,
+        value: Value,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        let mut queue = VecDeque::new();
+        if let Some(g) = self.agg_groups.get_mut(&(rule_idx, group.clone())) {
+            if let Some(n) = g.values.get_mut(&value) {
+                *n -= 1;
+                if *n == 0 {
+                    g.values.remove(&value);
+                }
+            }
+            if g.values.is_empty() {
+                // Group vanished: evict the emitted tuple entirely.
+                if let Some(old) = g.emitted.take() {
+                    self.agg_groups.remove(&(rule_idx, group));
+                    if let Some(tid) = self.store.evict(&old) {
+                        self.kill(tid, old, result)?;
+                    }
+                }
+            } else {
+                let origin = group.first().cloned().unwrap_or(Value::Wild);
+                self.agg_emit(rule_idx, group, 0, origin, &mut queue, result)?;
+            }
+        }
+        self.drain(queue, result)
+    }
+
+    /// Group key: head location followed by the evaluated non-agg head args.
+    fn agg_group_key(&mut self, rule_idx: usize, env: &Env) -> Option<Vec<Value>> {
+        let head = self.rules[rule_idx].rule.head.clone();
+        let mut key = Vec::with_capacity(head.args.len());
+        key.push(resolve_term(&head.loc, env)?);
+        for t in &head.args {
+            match t {
+                Term::Agg(..) => {}
+                other => key.push(resolve_term(other, env)?),
+            }
+        }
+        Some(key)
+    }
+
+    fn agg_emit(
+        &mut self,
+        rule_idx: usize,
+        group: Vec<Value>,
+        trigger_tid: TupleId,
+        origin: Value,
+        queue: &mut VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        let spec = self.rules[rule_idx].agg.clone().unwrap();
+        let g = match self.agg_groups.get(&(rule_idx, group.clone())) {
+            Some(g) => g,
+            None => return Ok(()),
+        };
+        let agg_value = match spec.kind {
+            AggKind::Count => Value::Int(g.values.values().map(|&n| n as i64).sum()),
+            AggKind::Min => g.values.keys().next().cloned().unwrap_or(Value::Wild),
+            AggKind::Max => g.values.keys().next_back().cloned().unwrap_or(Value::Wild),
+        };
+        let table = self.rules[rule_idx].rule.head.table.clone();
+        let loc = group[0].clone();
+        let mut args: Vec<Value> = group[1..].to_vec();
+        args.push(agg_value);
+        let head = Tuple::new(table, loc, args);
+        if self.agg_groups[&(rule_idx, group.clone())].emitted.as_ref() == Some(&head) {
+            return Ok(()); // unchanged
+        }
+        self.agg_groups.get_mut(&(rule_idx, group)).unwrap().emitted = Some(head.clone());
+        self.total_derivations += 1;
+        result.derivations += 1;
+        if self.total_derivations > self.opts.max_derivations {
+            return Err(RuntimeError::DerivationLimit(self.opts.max_derivations));
+        }
+        self.add_support(&head, false, Some((rule_idx, vec![trigger_tid], origin)), queue, result)
+    }
+}
+
+/// Unify an atom against a concrete tuple, extending `env`. Returns the
+/// extended environment on success.
+pub fn match_atom(atom: &Atom, tuple: &Tuple, env: &Env) -> Option<Env> {
+    if atom.table != tuple.table || atom.args.len() != tuple.args.len() {
+        return None;
+    }
+    let mut out = env.clone();
+    unify_term(&atom.loc, &tuple.loc, &mut out)?;
+    for (t, v) in atom.args.iter().zip(tuple.args.iter()) {
+        unify_term(t, v, &mut out)?;
+    }
+    Some(out)
+}
+
+fn unify_term(term: &Term, value: &Value, env: &mut Env) -> Option<()> {
+    match term {
+        Term::Const(c) => {
+            if c == value {
+                Some(())
+            } else {
+                None
+            }
+        }
+        Term::Var(v) => match env.get(v) {
+            Some(bound) if bound == value => Some(()),
+            Some(_) => None,
+            None => {
+                env.insert(v.clone(), value.clone());
+                Some(())
+            }
+        },
+        Term::Agg(..) => None,
+    }
+}
+
+/// Instantiate a (non-aggregate) head atom under an environment.
+pub fn instantiate(atom: &Atom, env: &Env) -> Option<Tuple> {
+    let loc = resolve_term(&atom.loc, env)?;
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        args.push(resolve_term(t, env)?);
+    }
+    Some(Tuple { table: atom.table.clone(), loc, args })
+}
+
+fn resolve_term(term: &Term, env: &Env) -> Option<Value> {
+    match term {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => env.get(v).cloned(),
+        Term::Agg(..) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_ndlog::parse_program;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn fig2_engine() -> Engine {
+        let p = parse_program(
+            "fig2",
+            r"
+            materialize(PacketIn, event, 2, keys()).
+            materialize(FlowTable, infinity, 2, keys(0)).
+            materialize(WebLoadBalancer, infinity, 2, keys(0)).
+            r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), WebLoadBalancer(@C,Hdr,Prt), Swi == 1.
+            r2 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr == 53, Prt := 2.
+            r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+            r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 2.
+            ",
+        )
+        .unwrap();
+        Engine::new(&p).unwrap()
+    }
+
+    #[test]
+    fn event_triggers_persistent_derivation() {
+        let mut e = fig2_engine();
+        let r = e
+            .insert(Tuple::new("PacketIn", Value::str("C"), vec![v(2), v(80)]))
+            .unwrap();
+        // r5 fires (Prt:=1), then r7 replaces it (same key Hdr=80 at node 2).
+        assert!(r.derivations >= 2);
+        let fts = e.tuples("FlowTable");
+        assert_eq!(fts.len(), 1);
+        // Last write wins under key replacement: r7's Prt=2.
+        assert_eq!(fts[0], Tuple::new("FlowTable", v(2), vec![v(80), v(2)]));
+        // The PacketIn event itself was not stored.
+        assert!(e.tuples("PacketIn").is_empty());
+    }
+
+    #[test]
+    fn join_with_state_table() {
+        let mut e = fig2_engine();
+        e.insert(Tuple::new("WebLoadBalancer", Value::str("C"), vec![v(80), v(7)])).unwrap();
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![v(1), v(80)])).unwrap();
+        let fts = e.tuples("FlowTable");
+        assert_eq!(fts, vec![Tuple::new("FlowTable", v(1), vec![v(80), v(7)])]);
+    }
+
+    #[test]
+    fn state_deletion_cascades() {
+        let src = r"
+            materialize(A, infinity, 1, keys(0)).
+            materialize(B, infinity, 1, keys(0)).
+            materialize(C, infinity, 1, keys(0)).
+            r1 B(@N,X) :- A(@N,X), X > 0.
+            r2 C(@N,X) :- B(@N,X), X > 1.
+        ";
+        let p = parse_program("casc", src).unwrap();
+        let mut e = Engine::new(&p).unwrap();
+        let a = Tuple::new("A", v(1), vec![v(5)]);
+        e.insert(a.clone()).unwrap();
+        assert!(e.contains(&Tuple::new("B", v(1), vec![v(5)])));
+        assert!(e.contains(&Tuple::new("C", v(1), vec![v(5)])));
+        let r = e.delete(&a).unwrap();
+        assert_eq!(r.disappeared.len(), 3);
+        assert!(e.tuples("B").is_empty());
+        assert!(e.tuples("C").is_empty());
+    }
+
+    #[test]
+    fn support_counting_keeps_multiply_derived_tuples() {
+        let src = r"
+            materialize(A, infinity, 1, keys(0)).
+            materialize(B, infinity, 1, keys(0)).
+            materialize(Out, infinity, 1, keys(0)).
+            r1 Out(@N,X) :- A(@N,X), X > 0.
+            r2 Out(@N,X) :- B(@N,X), X > 0.
+        ";
+        let p = parse_program("sup", src).unwrap();
+        let mut e = Engine::new(&p).unwrap();
+        e.insert(Tuple::new("A", v(1), vec![v(5)])).unwrap();
+        e.insert(Tuple::new("B", v(1), vec![v(5)])).unwrap();
+        let out = Tuple::new("Out", v(1), vec![v(5)]);
+        assert!(e.contains(&out));
+        // Deleting one support keeps the tuple alive.
+        e.delete(&Tuple::new("A", v(1), vec![v(5)])).unwrap();
+        assert!(e.contains(&out));
+        e.delete(&Tuple::new("B", v(1), vec![v(5)])).unwrap();
+        assert!(!e.contains(&out));
+    }
+
+    #[test]
+    fn multi_hop_recursion_reaches_fixpoint() {
+        let src = r"
+            materialize(Link, infinity, 1, keys(0)).
+            materialize(Reach, infinity, 1, keys(0)).
+            r1 Reach(@N,M) :- Link(@N,M), M != -1.
+            r2 Reach(@N,M) :- Reach(@X,N2), Link(@N2,M), N2 == N2, N := N2, M != -1.
+        ";
+        // note: r2 is written oddly to exercise assigns; simpler transitive
+        // closure below.
+        let p = parse_program("tc", src).unwrap();
+        assert!(Engine::new(&p).is_ok());
+
+        let src = r"
+            materialize(Link, infinity, 2, keys(0,1)).
+            materialize(Reach, infinity, 2, keys(0,1)).
+            r1 Reach(@C,X,Y) :- Link(@C,X,Y), X != Y.
+            r2 Reach(@C,X,Z) :- Reach(@C,X,Y), Link(@C,Y,Z), X != Z.
+        ";
+        let p = parse_program("tc2", src).unwrap();
+        let mut e = Engine::new(&p).unwrap();
+        let c = Value::str("C");
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            e.insert(Tuple::new("Link", c.clone(), vec![v(a), v(b)])).unwrap();
+        }
+        let reach = e.tuples("Reach");
+        // 1→2,1→3,1→4,2→3,2→4,3→4
+        assert_eq!(reach.len(), 6);
+    }
+
+    #[test]
+    fn aggregate_count_updates_and_retracts() {
+        let src = r"
+            materialize(PredFunc, infinity, 2, keys(0,1)).
+            materialize(PredFuncCount, infinity, 2, keys(0)).
+            p2 PredFuncCount(@C,Rul,a_count<Tab>) :- PredFunc(@C,Rul,Tab).
+        ";
+        let p = parse_program("agg", src).unwrap();
+        let mut e = Engine::new(&p).unwrap();
+        let c = Value::str("C");
+        e.insert(Tuple::new("PredFunc", c.clone(), vec![Value::str("r1"), Value::str("T1")]))
+            .unwrap();
+        e.insert(Tuple::new("PredFunc", c.clone(), vec![Value::str("r1"), Value::str("T2")]))
+            .unwrap();
+        e.insert(Tuple::new("PredFunc", c.clone(), vec![Value::str("r2"), Value::str("T1")]))
+            .unwrap();
+        assert_eq!(
+            e.tuples("PredFuncCount"),
+            vec![
+                Tuple::new("PredFuncCount", c.clone(), vec![Value::str("r1"), v(2)]),
+                Tuple::new("PredFuncCount", c.clone(), vec![Value::str("r2"), v(1)]),
+            ]
+        );
+        // Retraction updates the count.
+        e.delete(&Tuple::new("PredFunc", c.clone(), vec![Value::str("r1"), Value::str("T2")]))
+            .unwrap();
+        assert!(e.contains(&Tuple::new("PredFuncCount", c.clone(), vec![Value::str("r1"), v(1)])));
+        // Emptying the group evicts the count tuple.
+        e.delete(&Tuple::new("PredFunc", c.clone(), vec![Value::str("r1"), Value::str("T1")]))
+            .unwrap();
+        assert_eq!(e.tuples("PredFuncCount").len(), 1);
+    }
+
+    #[test]
+    fn send_receive_logged_for_remote_heads() {
+        let mut e = fig2_engine();
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![v(2), v(80)])).unwrap();
+        let sends: Vec<_> = e
+            .log()
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, ExecEvent::Send { positive: true, .. }))
+            .collect();
+        assert!(!sends.is_empty(), "FlowTable install should ship C→switch");
+    }
+
+    #[test]
+    fn provenance_recording_can_be_disabled() {
+        let p = parse_program(
+            "t",
+            "materialize(A, infinity, 1, keys(0)).\nmaterialize(B, infinity, 1, keys(0)).\nr1 B(@N,X) :- A(@N,X), X > 0.",
+        )
+        .unwrap();
+        let mut e = Engine::with_options(
+            &p,
+            Options { record_events: false, ..Options::default() },
+        )
+        .unwrap();
+        e.insert(Tuple::new("A", v(1), vec![v(5)])).unwrap();
+        assert!(e.log().events.is_empty());
+        assert!(e.contains(&Tuple::new("B", v(1), vec![v(5)])));
+    }
+
+    #[test]
+    fn derivation_limit_guards_runaway_rules() {
+        // Infinite generator: each Out(k) derives Out(k+1).
+        let src = r"
+            materialize(Seed, infinity, 1, keys(0)).
+            materialize(Out, infinity, 1, keys(0)).
+            r1 Out(@N,X) :- Seed(@N,X), X > 0.
+            r2 Out(@N,Y) :- Out(@N,X), X > 0, Y := X + 1.
+        ";
+        let p = parse_program("loop", src).unwrap();
+        let mut e = Engine::with_options(
+            &p,
+            Options { max_derivations: 1000, ..Options::default() },
+        )
+        .unwrap();
+        let err = e.insert(Tuple::new("Seed", v(1), vec![v(1)])).unwrap_err();
+        assert_eq!(err, RuntimeError::DerivationLimit(1000));
+    }
+
+    #[test]
+    fn compile_rejects_unbound_vars() {
+        let p = parse_program("bad", "r1 B(@N,X) :- A(@N,X), Zz == 1.").unwrap();
+        assert!(matches!(
+            Engine::new(&p),
+            Err(CompileError::UnboundSelectionVar { .. })
+        ));
+        let p = parse_program("bad2", "r1 B(@N,X) :- A(@N,X), X := Qq + 1.").unwrap();
+        // X is bound by the body; Qq is not.
+        assert!(matches!(Engine::new(&p), Err(CompileError::UnboundAssignVar { .. })));
+    }
+
+    #[test]
+    fn compile_rejects_bad_aggregates() {
+        let p = parse_program("bad", "r1 B(@N,a_count<X>,Y) :- A(@N,X,Y).").unwrap();
+        assert!(matches!(Engine::new(&p), Err(CompileError::BadAggregate { .. })));
+        let p =
+            parse_program("bad2", "r1 B(@N,a_count<X>) :- A(@N,X,Y), C(@N,X,Y).").unwrap();
+        assert!(matches!(Engine::new(&p), Err(CompileError::BadAggregate { .. })));
+        let p = parse_program(
+            "bad3",
+            "materialize(A, event, 2, keys()).\nr1 B(@N,a_count<X>) :- A(@N,X,Y).",
+        )
+        .unwrap();
+        assert!(matches!(Engine::new(&p), Err(CompileError::AggregateOverEvent { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_on_insert() {
+        let p = parse_program("t", "materialize(A, infinity, 2, keys(0)).\nr1 B(@N,X) :- A(@N,X,Y), X > 0.").unwrap();
+        let mut e = Engine::new(&p).unwrap();
+        let err = e.insert(Tuple::new("A", v(1), vec![v(5)])).unwrap_err();
+        assert!(matches!(err, RuntimeError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn log_records_full_lifecycle() {
+        let mut e = fig2_engine();
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![v(2), v(80)])).unwrap();
+        let log = e.log();
+        assert!(log.events.iter().any(|ev| matches!(ev, ExecEvent::InsertBase { .. })));
+        assert!(log.events.iter().any(|ev| matches!(ev, ExecEvent::Derive { .. })));
+        assert!(log.events.iter().any(|ev| matches!(ev, ExecEvent::Appear { .. })));
+        // Event tuple has an instantaneous lifetime.
+        let ev_rec = &log.tuples[0];
+        assert_eq!(ev_rec.kind, TupleKind::Event);
+        assert_eq!(ev_rec.disappear, Some(ev_rec.appear));
+    }
+}

@@ -1,0 +1,29 @@
+//! # mpr-runtime — the NDlog evaluation engine
+//!
+//! The runtime substrate of the reproduction: a deterministic, pipelined
+//! semi-naive datalog engine in the style of RapidNet (the paper's
+//! declarative SDN environment, §5.1), with:
+//!
+//! - per-node tuple stores with primary-key replacement ([`store`]);
+//! - support counting and cascading retraction (UNDERIVE/DISAPPEAR);
+//! - transient *event* tables (`PacketIn` and friends) whose derivations
+//!   persist (the OpenFlow install pattern);
+//! - `a_count`/`a_min`/`a_max` head aggregates (used by the meta model);
+//! - built-in functions `f_unique`, `f_match`, `f_join`, `f_apply` with a
+//!   deterministic seed;
+//! - a full execution log ([`log::ExecLog`]) of INSERT/DELETE, DERIVE/
+//!   UNDERIVE, APPEAR/DISAPPEAR and SEND/RECEIVE events — the raw material
+//!   for the §3.1 provenance graph — which can be switched off to measure
+//!   the provenance overhead (§5.4);
+//! - a naive fixpoint oracle ([`naive`]) for differential testing.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod log;
+pub mod naive;
+pub mod store;
+
+pub use engine::{CompileError, Engine, Options, RuntimeError, StepResult};
+pub use log::{ExecEvent, ExecLog, Time, TupleId, TupleKind, TupleRecord};
+pub use store::{AddOutcome, DropOutcome, LiveTuple, Store};

@@ -1,0 +1,363 @@
+//! The controller interface and the NDlog controller adapter.
+//!
+//! A [`Controller`] receives OpenFlow-style `PacketIn` messages and answers
+//! with `FlowMod`/`PacketOut` messages. [`NdlogController`] wraps an
+//! `mpr-runtime` engine and a [`TupleCodec`] that maps packets onto
+//! `PacketIn` tuples and derived `FlowTable`/`PacketOut` tuples back onto
+//! control messages — the RapidNet proxy of §5.1.
+
+use crate::flowtable::{Action, FlowEntry, Match};
+use crate::packet::{Field, Packet};
+use mpr_ndlog::{Program, Tuple, Value};
+use mpr_runtime::{Engine, ExecLog, Options as EngineOptions};
+use serde::{Deserialize, Serialize};
+
+/// A `PacketIn` punt from a switch to the controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketInMsg {
+    /// Switch that missed.
+    pub switch: i64,
+    /// Ingress port.
+    pub in_port: i64,
+    /// The packet (buffered at the switch).
+    pub packet: Packet,
+}
+
+/// A message from the controller back to the network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtrlMsg {
+    /// Install a flow entry.
+    FlowMod {
+        /// Target switch.
+        switch: i64,
+        /// The entry.
+        entry: FlowEntry,
+    },
+    /// Release the buffered packet with an action.
+    PacketOut {
+        /// Target switch.
+        switch: i64,
+        /// Packet to emit (usually the buffered one).
+        packet: Packet,
+        /// What to do with it.
+        action: Action,
+    },
+}
+
+/// The controller interface.
+pub trait Controller {
+    /// Handle a `PacketIn`; return control messages.
+    fn on_packet_in(&mut self, msg: &PacketInMsg) -> Vec<CtrlMsg>;
+
+    /// Display name (reports).
+    fn name(&self) -> &str {
+        "controller"
+    }
+}
+
+/// A no-op controller (drops every punted packet).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullController;
+
+impl Controller for NullController {
+    fn on_packet_in(&mut self, _msg: &PacketInMsg) -> Vec<CtrlMsg> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "null"
+    }
+}
+
+/// One argument slot of a `PacketIn`/match tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PktArg {
+    /// A packet header field.
+    Field(Field),
+    /// The switch ingress port.
+    InPort,
+}
+
+impl PktArg {
+    fn value_of(&self, msg: &PacketInMsg) -> i64 {
+        match self {
+            PktArg::Field(f) => msg.packet.field(*f),
+            PktArg::InPort => msg.in_port,
+        }
+    }
+}
+
+/// Mapping between packets and NDlog tuples. Conventions:
+///
+/// - `PacketIn(@C, Swi, <packet_in_args...>)` — the event fed to the engine;
+/// - `FlowTable(@Swi, <match args...>, Prt)` — derived tuples whose location
+///   is the target switch; the leading args (one per `flow_match_args`
+///   entry) are exact-match values, the final arg is the output port
+///   (negative = drop);
+/// - optionally `PacketOut(@Swi, ..., Prt)` — release the buffered packet
+///   out of `Prt` (the Q4 scenario hinges on a controller forgetting these).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TupleCodec {
+    /// Location value of the controller node.
+    pub controller_loc: Value,
+    /// `PacketIn` table name.
+    pub packet_in_table: String,
+    /// Argument layout after the switch id.
+    pub packet_in_args: Vec<PktArg>,
+    /// `FlowTable` table name.
+    pub flow_table: String,
+    /// Which packet attributes the leading `FlowTable` args match on.
+    pub flow_match_args: Vec<PktArg>,
+    /// Priority given to installed entries.
+    pub flow_priority: i32,
+    /// Optional `PacketOut` table name (last arg = port).
+    pub packet_out_table: Option<String>,
+}
+
+impl TupleCodec {
+    /// The codec for the Fig. 2 program: `PacketIn(@C,Swi,Hdr)` where `Hdr`
+    /// is the destination port, and `FlowTable(@Swi,Hdr,Prt)`.
+    pub fn fig2() -> TupleCodec {
+        TupleCodec {
+            controller_loc: Value::str("C"),
+            packet_in_table: "PacketIn".into(),
+            packet_in_args: vec![PktArg::Field(Field::DstPort)],
+            flow_table: "FlowTable".into(),
+            flow_match_args: vec![PktArg::Field(Field::DstPort)],
+            flow_priority: 10,
+            packet_out_table: None,
+        }
+    }
+
+    /// A five-tuple codec used by the richer scenarios:
+    /// `PacketIn(@C,Swi,Sip,Dip,Spt,Dpt,Ipt)` and
+    /// `FlowTable(@Swi,Sip,Dip,Spt,Dpt,Prt)`.
+    pub fn five_tuple() -> TupleCodec {
+        TupleCodec {
+            controller_loc: Value::str("C"),
+            packet_in_table: "PacketIn".into(),
+            packet_in_args: vec![
+                PktArg::Field(Field::SrcIp),
+                PktArg::Field(Field::DstIp),
+                PktArg::Field(Field::SrcPort),
+                PktArg::Field(Field::DstPort),
+                PktArg::InPort,
+            ],
+            flow_table: "FlowTable".into(),
+            flow_match_args: vec![
+                PktArg::Field(Field::SrcIp),
+                PktArg::Field(Field::DstIp),
+                PktArg::Field(Field::SrcPort),
+                PktArg::Field(Field::DstPort),
+            ],
+            flow_priority: 10,
+            packet_out_table: None,
+        }
+    }
+
+    /// Encode a `PacketIn` message as the event tuple.
+    pub fn packet_in_tuple(&self, msg: &PacketInMsg) -> Tuple {
+        let mut args = Vec::with_capacity(1 + self.packet_in_args.len());
+        args.push(Value::Int(msg.switch));
+        for a in &self.packet_in_args {
+            args.push(Value::Int(a.value_of(msg)));
+        }
+        Tuple::new(self.packet_in_table.clone(), self.controller_loc.clone(), args)
+    }
+
+    /// Decode a derived tuple into a control message, if it is one of the
+    /// recognized output tables.
+    pub fn decode(&self, tuple: &Tuple, msg: &PacketInMsg) -> Option<CtrlMsg> {
+        if tuple.table == self.flow_table {
+            let switch = tuple.loc.as_int()?;
+            if tuple.args.len() != self.flow_match_args.len() + 1 {
+                return None;
+            }
+            let mut m = Match::any();
+            for (spec, v) in self.flow_match_args.iter().zip(tuple.args.iter()) {
+                let v = v.as_int()?;
+                match spec {
+                    PktArg::Field(f) => m = m.with(*f, v),
+                    PktArg::InPort => m = m.on_port(v),
+                }
+            }
+            let port = tuple.args.last()?.as_int()?;
+            let actions =
+                if port < 0 { vec![Action::Drop] } else { vec![Action::Output(port)] };
+            return Some(CtrlMsg::FlowMod {
+                switch,
+                entry: FlowEntry::new(self.flow_priority, m, actions),
+            });
+        }
+        if let Some(po) = &self.packet_out_table {
+            if &tuple.table == po {
+                let switch = tuple.loc.as_int()?;
+                let port = tuple.args.last()?.as_int()?;
+                let action = if port < 0 { Action::Drop } else { Action::Output(port) };
+                return Some(CtrlMsg::PacketOut { switch, packet: msg.packet.clone(), action });
+            }
+        }
+        None
+    }
+}
+
+/// An NDlog-programmed controller: the declarative environment of §5.1.
+pub struct NdlogController {
+    engine: Engine,
+    codec: TupleCodec,
+    program: Program,
+    name: String,
+}
+
+impl NdlogController {
+    /// Compile `program` with the default engine options.
+    pub fn new(program: Program, codec: TupleCodec) -> Result<Self, mpr_runtime::CompileError> {
+        Self::with_options(program, codec, EngineOptions::default())
+    }
+
+    /// Compile with explicit engine options (e.g. provenance off for the
+    /// §5.4 overhead measurement).
+    pub fn with_options(
+        program: Program,
+        codec: TupleCodec,
+        opts: EngineOptions,
+    ) -> Result<Self, mpr_runtime::CompileError> {
+        let engine = Engine::with_options(&program, opts)?;
+        let name = format!("ndlog:{}", program.name);
+        Ok(NdlogController { engine, codec, program, name })
+    }
+
+    /// The controller program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The codec.
+    pub fn codec(&self) -> &TupleCodec {
+        &self.codec
+    }
+
+    /// Seed controller state (e.g. `WebLoadBalancer` configuration tuples).
+    pub fn seed(&mut self, tuples: Vec<Tuple>) -> Result<(), mpr_runtime::RuntimeError> {
+        self.engine.insert_all(tuples)?;
+        Ok(())
+    }
+
+    /// Access the engine's execution log (the provenance record).
+    pub fn exec_log(&self) -> &ExecLog {
+        self.engine.log()
+    }
+
+    /// Direct access to the engine (diagnostics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl Controller for NdlogController {
+    fn on_packet_in(&mut self, msg: &PacketInMsg) -> Vec<CtrlMsg> {
+        let tuple = self.codec.packet_in_tuple(msg);
+        match self.engine.insert(tuple) {
+            Ok(step) => step
+                .appeared
+                .iter()
+                .filter_map(|t| self.codec.decode(t, msg))
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_ndlog::parse_program;
+
+    fn msg(switch: i64, dst_port: i64) -> PacketInMsg {
+        let mut p = Packet::http(1, 50, 20);
+        p.dst_port = dst_port;
+        PacketInMsg { switch, in_port: 0, packet: p }
+    }
+
+    #[test]
+    fn codec_encodes_packet_in() {
+        let c = TupleCodec::fig2();
+        let t = c.packet_in_tuple(&msg(2, 80));
+        assert_eq!(t.to_string(), "PacketIn(@'C',2,80)");
+        let c5 = TupleCodec::five_tuple();
+        let t = c5.packet_in_tuple(&msg(2, 80));
+        assert_eq!(t.args.len(), 6);
+    }
+
+    #[test]
+    fn codec_decodes_flow_mods_and_drops() {
+        let c = TupleCodec::fig2();
+        let m = msg(2, 80);
+        let t = Tuple::new("FlowTable", 2i64, vec![Value::Int(80), Value::Int(1)]);
+        match c.decode(&t, &m) {
+            Some(CtrlMsg::FlowMod { switch, entry }) => {
+                assert_eq!(switch, 2);
+                assert_eq!(entry.actions, vec![Action::Output(1)]);
+                assert!(entry.m.matches(&m.packet, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Negative port = drop entry.
+        let t = Tuple::new("FlowTable", 1i64, vec![Value::Int(22), Value::Int(-1)]);
+        match c.decode(&t, &m) {
+            Some(CtrlMsg::FlowMod { entry, .. }) => {
+                assert_eq!(entry.actions, vec![Action::Drop])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown tables are ignored.
+        let t = Tuple::new("Other", 1i64, vec![Value::Int(1)]);
+        assert!(c.decode(&t, &m).is_none());
+    }
+
+    #[test]
+    fn ndlog_controller_runs_fig2() {
+        let program = parse_program(
+            "fig2",
+            r"
+            materialize(PacketIn, event, 2, keys()).
+            materialize(FlowTable, infinity, 2, keys(0)).
+            r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+            ",
+        )
+        .unwrap();
+        let mut ctrl = NdlogController::new(program, TupleCodec::fig2()).unwrap();
+        let out = ctrl.on_packet_in(&msg(2, 80));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], CtrlMsg::FlowMod { switch: 2, .. }));
+        // Unmatched traffic produces nothing.
+        assert!(ctrl.on_packet_in(&msg(9, 22)).is_empty());
+        assert!(ctrl.exec_log().len() > 0);
+        assert_eq!(ctrl.name(), "ndlog:fig2");
+    }
+
+    #[test]
+    fn packet_out_decoding() {
+        let mut c = TupleCodec::fig2();
+        c.packet_out_table = Some("PacketOut".into());
+        let m = msg(2, 80);
+        let t = Tuple::new("PacketOut", 2i64, vec![Value::Int(80), Value::Int(1)]);
+        match c.decode(&t, &m) {
+            Some(CtrlMsg::PacketOut { switch: 2, action: Action::Output(1), packet }) => {
+                assert_eq!(packet, m.packet);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_controller_is_silent() {
+        let mut c = NullController;
+        assert!(c.on_packet_in(&msg(1, 80)).is_empty());
+        assert_eq!(c.name(), "null");
+    }
+}

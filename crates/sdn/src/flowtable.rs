@@ -1,0 +1,310 @@
+//! OpenFlow-style flow tables: priority-ordered wildcard matching.
+
+use crate::packet::{Field, Packet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A match specification: every constrained field must equal the packet's
+/// value; unconstrained fields are wildcards.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Match {
+    /// Ingress port constraint.
+    pub in_port: Option<i64>,
+    /// Header field constraints as `(field, value)` pairs.
+    pub fields: Vec<(Field, i64)>,
+}
+
+impl Match {
+    /// Match-all.
+    pub fn any() -> Match {
+        Match::default()
+    }
+
+    /// Add a header-field constraint (builder style).
+    pub fn with(mut self, f: Field, v: i64) -> Match {
+        self.fields.push((f, v));
+        self
+    }
+
+    /// Add an ingress-port constraint (builder style).
+    pub fn on_port(mut self, p: i64) -> Match {
+        self.in_port = Some(p);
+        self
+    }
+
+    /// Does the packet (arriving on `in_port`) satisfy the match?
+    pub fn matches(&self, pkt: &Packet, in_port: i64) -> bool {
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        self.fields.iter().all(|(f, v)| pkt.field(*f) == *v)
+    }
+
+    /// Number of constrained fields (used for specificity ordering).
+    pub fn specificity(&self) -> usize {
+        self.fields.len() + usize::from(self.in_port.is_some())
+    }
+}
+
+impl fmt::Display for Match {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.in_port.is_none() && self.fields.is_empty() {
+            return f.write_str("*");
+        }
+        let mut first = true;
+        if let Some(p) = self.in_port {
+            write!(f, "in_port={p}")?;
+            first = false;
+        }
+        for (field, v) in &self.fields {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}={v}", field.short())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A flow action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward out of a port.
+    Output(i64),
+    /// Drop the packet.
+    Drop,
+    /// Punt to the controller (explicit).
+    Controller,
+    /// Flood out of every port except the ingress.
+    Flood,
+    /// Rewrite a header field, then continue with the next action.
+    Modify(Field, i64),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output(p) => write!(f, "output:{p}"),
+            Action::Drop => f.write_str("drop"),
+            Action::Controller => f.write_str("controller"),
+            Action::Flood => f.write_str("flood"),
+            Action::Modify(field, v) => write!(f, "set {}={v}", field.short()),
+        }
+    }
+}
+
+/// One flow entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// Priority (higher wins).
+    pub priority: i32,
+    /// Match specification.
+    pub m: Match,
+    /// Action list, applied in order.
+    pub actions: Vec<Action>,
+}
+
+impl FlowEntry {
+    /// Build an entry.
+    pub fn new(priority: i32, m: Match, actions: Vec<Action>) -> Self {
+        FlowEntry { priority, m, actions }
+    }
+}
+
+impl fmt::Display for FlowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} -> ", self.priority, self.m)?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A switch's flow table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+}
+
+impl FlowTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install an entry. An entry with an identical match and priority
+    /// already present is kept (first install wins) — the controller proxy
+    /// deduplicates redundant `FlowMod`s, so the first rule to fire for a
+    /// flow owns its entry. Use [`FlowTable::replace`] for modify
+    /// semantics.
+    pub fn install(&mut self, entry: FlowEntry) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.m == entry.m && e.priority == entry.priority)
+        {
+            return;
+        }
+        self.entries.push(entry);
+        // Highest priority first; ties broken by specificity, then
+        // insertion order (stable sort).
+        self.entries
+            .sort_by(|a, b| b.priority.cmp(&a.priority).then(b.m.specificity().cmp(&a.m.specificity())));
+    }
+
+    /// Install with modify semantics: an entry with an identical match and
+    /// priority is overwritten.
+    pub fn replace(&mut self, entry: FlowEntry) {
+        self.entries.retain(|e| !(e.m == entry.m && e.priority == entry.priority));
+        self.install(entry);
+    }
+
+    /// Remove entries whose match equals `m` exactly.
+    pub fn remove(&mut self, m: &Match) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| &e.m != m);
+        before - self.entries.len()
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Best-match lookup.
+    pub fn lookup(&self, pkt: &Packet, in_port: i64) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.m.matches(pkt, in_port))
+    }
+
+    /// Reference lookup by full linear scan over *all* matching entries —
+    /// used by property tests to validate the sorted fast path.
+    pub fn lookup_reference(&self, pkt: &Packet, in_port: i64) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.m.matches(pkt, in_port))
+            .max_by(|a, b| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then(a.m.specificity().cmp(&b.m.specificity()))
+            })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in match order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ports;
+
+    #[test]
+    fn priority_and_wildcard_matching() {
+        let mut ft = FlowTable::new();
+        ft.install(FlowEntry::new(1, Match::any(), vec![Action::Drop]));
+        ft.install(FlowEntry::new(
+            10,
+            Match::any().with(Field::DstPort, ports::HTTP),
+            vec![Action::Output(2)],
+        ));
+        let http = Packet::http(1, 5, 9);
+        let dns = Packet::dns(2, 5, 9);
+        assert_eq!(ft.lookup(&http, 1).unwrap().actions, vec![Action::Output(2)]);
+        assert_eq!(ft.lookup(&dns, 1).unwrap().actions, vec![Action::Drop]);
+    }
+
+    #[test]
+    fn in_port_constraints() {
+        let mut ft = FlowTable::new();
+        ft.install(FlowEntry::new(
+            5,
+            Match::any().on_port(3),
+            vec![Action::Output(1)],
+        ));
+        let p = Packet::http(1, 5, 9);
+        assert!(ft.lookup(&p, 3).is_some());
+        assert!(ft.lookup(&p, 2).is_none());
+    }
+
+    #[test]
+    fn install_keeps_first_replace_overwrites() {
+        let mut ft = FlowTable::new();
+        let m = Match::any().with(Field::DstPort, 80);
+        ft.install(FlowEntry::new(5, m.clone(), vec![Action::Output(1)]));
+        ft.install(FlowEntry::new(5, m.clone(), vec![Action::Output(2)]));
+        assert_eq!(ft.len(), 1);
+        // First install wins.
+        assert_eq!(
+            ft.lookup(&Packet::http(1, 5, 9), 1).unwrap().actions,
+            vec![Action::Output(1)]
+        );
+        // Modify semantics overwrite.
+        ft.replace(FlowEntry::new(5, m.clone(), vec![Action::Output(2)]));
+        assert_eq!(ft.len(), 1);
+        assert_eq!(
+            ft.lookup(&Packet::http(1, 5, 9), 1).unwrap().actions,
+            vec![Action::Output(2)]
+        );
+        assert_eq!(ft.remove(&m), 1);
+        assert!(ft.is_empty());
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut ft = FlowTable::new();
+        ft.install(FlowEntry::new(5, Match::any(), vec![Action::Drop]));
+        ft.install(FlowEntry::new(
+            5,
+            Match::any().with(Field::DstPort, 80).with(Field::SrcIp, 5),
+            vec![Action::Output(9)],
+        ));
+        let p = Packet::http(1, 5, 9);
+        assert_eq!(ft.lookup(&p, 1).unwrap().actions, vec![Action::Output(9)]);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_reference() {
+        let mut ft = FlowTable::new();
+        ft.install(FlowEntry::new(1, Match::any(), vec![Action::Drop]));
+        ft.install(FlowEntry::new(7, Match::any().with(Field::SrcIp, 5), vec![Action::Output(1)]));
+        ft.install(FlowEntry::new(7, Match::any().with(Field::DstPort, 80).on_port(2), vec![Action::Output(3)]));
+        for (pkt, port) in [
+            (Packet::http(1, 5, 9), 2),
+            (Packet::http(2, 6, 9), 2),
+            (Packet::dns(3, 5, 9), 1),
+            (Packet::icmp(4, 0, 0), 9),
+        ] {
+            assert_eq!(ft.lookup(&pkt, port), ft.lookup_reference(&pkt, port));
+        }
+    }
+
+    #[test]
+    fn display_renders_entries() {
+        let e = FlowEntry::new(
+            5,
+            Match::any().with(Field::DstPort, 80).on_port(1),
+            vec![Action::Modify(Field::DstIp, 9), Action::Output(2)],
+        );
+        assert_eq!(e.to_string(), "[5] in_port=1,Dpt=80 -> set Dip=9,output:2");
+        assert_eq!(Match::any().to_string(), "*");
+    }
+}

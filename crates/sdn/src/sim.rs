@@ -1,0 +1,507 @@
+//! The discrete-event network simulator.
+//!
+//! Event-driven in the smoltcp style: a time-ordered queue of packet
+//! arrivals drives switches (flow-table lookup → actions → next hop),
+//! hosts (delivery accounting) and the controller (PacketIn on miss,
+//! FlowMod/PacketOut back). Buffered-miss semantics follow OpenFlow: a
+//! missed packet waits at the switch; unless the controller answers with a
+//! `PacketOut`, it is dropped — exactly the bug class of scenario Q4.
+//!
+//! Fault injection (packet drops with a deterministic RNG) is available for
+//! robustness testing, mirroring the `--drop-chance` options the smoltcp
+//! examples expose.
+
+use crate::controller::{Controller, CtrlMsg, PacketInMsg};
+use crate::flowtable::{Action, FlowTable};
+use crate::packet::Packet;
+use crate::topology::{NodeRef, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Per-link latency (simulated microseconds).
+    pub link_latency: u64,
+    /// Controller round-trip latency.
+    pub controller_latency: u64,
+    /// TTL: maximum switch hops per packet (loop guard).
+    pub max_hops: u32,
+    /// Probability of dropping a packet on each link traversal.
+    pub drop_chance: f64,
+    /// RNG seed for fault injection.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_latency: 5,
+            controller_latency: 100,
+            max_hops: 64,
+            drop_chance: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Counters collected during a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered, per destination host.
+    pub delivered: BTreeMap<i64, u64>,
+    /// Packets delivered, per (host, destination port).
+    pub delivered_by_port: BTreeMap<(i64, i64), u64>,
+    /// Packets that arrived at a host that was not their destination.
+    pub misdelivered: u64,
+    /// Drops: flow-table said drop.
+    pub dropped_policy: u64,
+    /// Drops: buffered at a miss and never released by the controller.
+    pub dropped_buffered: u64,
+    /// Drops: TTL exceeded.
+    pub dropped_ttl: u64,
+    /// Drops: fault injection.
+    pub dropped_fault: u64,
+    /// PacketIn messages sent to the controller.
+    pub packet_ins: u64,
+    /// FlowMods applied.
+    pub flow_mods: u64,
+    /// PacketOuts applied.
+    pub packet_outs: u64,
+    /// Total switch hops.
+    pub hops: u64,
+}
+
+impl SimStats {
+    /// Total packets delivered anywhere.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Delivered count for one host.
+    pub fn delivered_to(&self, host: i64) -> u64 {
+        self.delivered.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Delivered count for one (host, port).
+    pub fn delivered_on(&self, host: i64, port: i64) -> u64 {
+        self.delivered_by_port.get(&(host, port)).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ev {
+    time: u64,
+    seq: u64,
+    node: NodeRef,
+    port: i64,
+    hops: u32,
+    packet: Packet,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator. Owns the topology, per-switch flow tables and the
+/// controller.
+pub struct Simulation<C: Controller> {
+    topo: Topology,
+    /// Per-switch flow tables (public for proactive route installation).
+    pub tables: BTreeMap<i64, FlowTable>,
+    controller: C,
+    cfg: SimConfig,
+    rng: StdRng,
+    queue: BinaryHeap<Ev>,
+    next_seq: u64,
+    clock: u64,
+    /// Counters.
+    pub stats: SimStats,
+    /// Every PacketIn the controller saw (the replayable ingress history).
+    pub packet_in_log: Vec<(u64, PacketInMsg)>,
+}
+
+impl<C: Controller> Simulation<C> {
+    /// Build a simulation.
+    pub fn new(topo: Topology, controller: C, cfg: SimConfig) -> Self {
+        let tables = topo.switches.iter().map(|s| (*s, FlowTable::new())).collect();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Simulation {
+            topo,
+            tables,
+            controller,
+            cfg,
+            rng,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            clock: 0,
+            stats: SimStats::default(),
+            packet_in_log: Vec::new(),
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// Mutable controller access (seeding state between runs).
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Install shortest-path `DstIp → Output` routes on every switch for
+    /// every host — the "proactively configured core" of §5.2. Entries get
+    /// priority 1 so reactive (priority ≥ 10) policies override them.
+    pub fn install_proactive_routes(&mut self) {
+        let hosts: Vec<i64> = self.topo.hosts.iter().copied().collect();
+        for h in hosts {
+            for (sw, port) in self.topo.routes_to(h) {
+                let entry = crate::flowtable::FlowEntry::new(
+                    1,
+                    crate::flowtable::Match::any().with(crate::packet::Field::DstIp, h),
+                    vec![Action::Output(port)],
+                );
+                if let Some(t) = self.tables.get_mut(&sw) {
+                    t.install(entry);
+                }
+            }
+        }
+    }
+
+    /// Inject a packet from `host` into the network.
+    pub fn inject(&mut self, host: i64, packet: Packet) {
+        let Some((sw, sw_port)) = self.topo.host_attachment(host) else {
+            return;
+        };
+        self.stats.injected += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Ev {
+            time: self.clock + self.cfg.link_latency,
+            seq,
+            node: NodeRef::Switch(sw),
+            port: sw_port,
+            hops: 0,
+            packet,
+        });
+    }
+
+    /// Run until the event queue drains. Returns the number of events
+    /// processed.
+    pub fn run(&mut self) -> u64 {
+        let mut processed = 0;
+        while let Some(ev) = self.queue.pop() {
+            self.clock = self.clock.max(ev.time);
+            processed += 1;
+            match ev.node {
+                NodeRef::Host(h) => self.arrive_host(h, ev.packet),
+                NodeRef::Switch(s) => self.arrive_switch(s, ev.port, ev.hops, ev.packet),
+            }
+        }
+        processed
+    }
+
+    fn arrive_host(&mut self, host: i64, packet: Packet) {
+        if packet.dst_ip == host {
+            *self.stats.delivered.entry(host).or_insert(0) += 1;
+            *self
+                .stats
+                .delivered_by_port
+                .entry((host, packet.dst_port))
+                .or_insert(0) += 1;
+        } else {
+            self.stats.misdelivered += 1;
+        }
+    }
+
+    fn arrive_switch(&mut self, switch: i64, in_port: i64, hops: u32, packet: Packet) {
+        if hops >= self.cfg.max_hops {
+            self.stats.dropped_ttl += 1;
+            return;
+        }
+        self.stats.hops += 1;
+        let entry = self
+            .tables
+            .get(&switch)
+            .and_then(|t| t.lookup(&packet, in_port))
+            .cloned();
+        match entry {
+            Some(e) => self.apply_actions(switch, in_port, hops, packet, &e.actions),
+            None => self.punt(switch, in_port, hops, packet),
+        }
+    }
+
+    fn apply_actions(
+        &mut self,
+        switch: i64,
+        in_port: i64,
+        hops: u32,
+        mut packet: Packet,
+        actions: &[Action],
+    ) {
+        let mut emitted = false;
+        for a in actions {
+            match a {
+                Action::Modify(f, v) => packet.set_field(*f, *v),
+                Action::Output(p) => {
+                    self.emit(switch, *p, hops, packet.clone());
+                    emitted = true;
+                }
+                Action::Flood => {
+                    for p in self.topo.ports(NodeRef::Switch(switch)) {
+                        if p != in_port {
+                            self.emit(switch, p, hops, packet.clone());
+                        }
+                    }
+                    emitted = true;
+                }
+                Action::Drop => {
+                    self.stats.dropped_policy += 1;
+                    return;
+                }
+                Action::Controller => {
+                    self.punt(switch, in_port, hops, packet.clone());
+                    emitted = true;
+                }
+            }
+        }
+        if !emitted {
+            self.stats.dropped_policy += 1;
+        }
+    }
+
+    fn emit(&mut self, switch: i64, out_port: i64, hops: u32, packet: Packet) {
+        let Some((peer, peer_port)) = self.topo.peer(NodeRef::Switch(switch), out_port) else {
+            self.stats.dropped_policy += 1;
+            return;
+        };
+        if self.cfg.drop_chance > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_chance {
+            self.stats.dropped_fault += 1;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Ev {
+            time: self.clock + self.cfg.link_latency,
+            seq,
+            node: peer,
+            port: peer_port,
+            hops: hops + 1,
+            packet,
+        });
+    }
+
+    /// Miss: buffer the packet, consult the controller, apply its answer.
+    fn punt(&mut self, switch: i64, in_port: i64, hops: u32, packet: Packet) {
+        self.stats.packet_ins += 1;
+        let msg = PacketInMsg { switch, in_port, packet };
+        self.packet_in_log.push((self.clock, msg.clone()));
+        let replies = self.controller.on_packet_in(&msg);
+        self.clock += self.cfg.controller_latency;
+        let mut released = false;
+        for r in replies {
+            match r {
+                CtrlMsg::FlowMod { switch: sw, entry } => {
+                    self.stats.flow_mods += 1;
+                    if let Some(t) = self.tables.get_mut(&sw) {
+                        t.install(entry);
+                    }
+                }
+                CtrlMsg::PacketOut { switch: sw, packet: p, action } => {
+                    self.stats.packet_outs += 1;
+                    self.apply_actions(sw, in_port, hops, p, &[action.clone()]);
+                    released = true;
+                }
+            }
+        }
+        if !released {
+            // OpenFlow buffered-miss semantics: without a PacketOut the
+            // buffered packet never leaves the switch. Scenario Q4 lives
+            // here. The *flow entries* just installed will serve future
+            // packets, not this one.
+            self.stats.dropped_buffered += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{NullController, TupleCodec};
+    use crate::flowtable::{FlowEntry, Match};
+    use crate::packet::Field;
+    use crate::topology::{fig1, fig1_hosts};
+
+    fn http_to(dst: i64, seq: u64) -> Packet {
+        Packet::http(seq, fig1_hosts::INTERNET, dst)
+    }
+
+    #[test]
+    fn proactive_routes_deliver_end_to_end() {
+        let mut sim = Simulation::new(fig1(), NullController, SimConfig::default());
+        sim.install_proactive_routes();
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H2, 2));
+        sim.run();
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H1), 1);
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H2), 1);
+        assert_eq!(sim.stats.misdelivered, 0);
+        assert_eq!(sim.stats.packet_ins, 0);
+    }
+
+    #[test]
+    fn miss_without_packet_out_drops_buffered_packet() {
+        // Null controller: every miss is buffered forever (Q4 semantics).
+        let mut sim = Simulation::new(fig1(), NullController, SimConfig::default());
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.packet_ins, 1);
+        assert_eq!(sim.stats.dropped_buffered, 1);
+        assert_eq!(sim.stats.total_delivered(), 0);
+        assert_eq!(sim.packet_in_log.len(), 1);
+    }
+
+    #[test]
+    fn ndlog_controller_installs_flows_in_sim() {
+        use crate::controller::NdlogController;
+        // S1 sends HTTP out of port 1 (toward S2→H1); S2 delivers on port 1.
+        let program = mpr_ndlog::parse_program(
+            "mini",
+            r"
+            materialize(PacketIn, event, 2, keys()).
+            materialize(FlowTable, infinity, 2, keys(0)).
+            r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 1, Hdr == 80, Prt := 1.
+            r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+            ",
+        )
+        .unwrap();
+        let ctrl = NdlogController::new(program, TupleCodec::fig2()).unwrap();
+        let mut sim = Simulation::new(fig1(), ctrl, SimConfig::default());
+        // First packet: miss at S1 installs that switch's entry, but the
+        // packet itself is dropped (no PacketOut rules). Second packet
+        // rides S1's entry, then misses at S2 — installing S2's entry and
+        // dying there. The third packet finally flows end to end. This
+        // per-hop warm-up is faithful OpenFlow reactive behavior.
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H1), 0);
+        assert_eq!(sim.stats.flow_mods, 1);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 2));
+        sim.run();
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H1), 0);
+        assert_eq!(sim.stats.flow_mods, 2);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 3));
+        sim.run();
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H1), 1);
+        assert_eq!(sim.stats.dropped_buffered, 2);
+    }
+
+    #[test]
+    fn policy_drop_and_modify_actions() {
+        let mut sim = Simulation::new(fig1(), NullController, SimConfig::default());
+        // S1: rewrite DstIp to H2 then forward via proactive routes.
+        sim.install_proactive_routes();
+        let e = FlowEntry::new(
+            50,
+            Match::any().with(Field::DstPort, 80),
+            vec![Action::Modify(Field::DstIp, fig1_hosts::H2), Action::Output(2)],
+        );
+        sim.tables.get_mut(&1).unwrap().install(e);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        // Rewritten to H2 and delivered there.
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H2), 1);
+        assert_eq!(sim.stats.misdelivered, 0);
+
+        // Drop policy.
+        let e = FlowEntry::new(99, Match::any(), vec![Action::Drop]);
+        sim.tables.get_mut(&1).unwrap().install(e);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 2));
+        sim.run();
+        assert_eq!(sim.stats.dropped_policy, 1);
+    }
+
+    #[test]
+    fn flood_reaches_all_neighbors_except_ingress() {
+        let mut sim = Simulation::new(fig1(), NullController, SimConfig::default());
+        let e = FlowEntry::new(10, Match::any(), vec![Action::Flood]);
+        for t in sim.tables.values_mut() {
+            t.install(e.clone());
+        }
+        // Broadcast storms are bounded by the TTL guard.
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H2, 1));
+        sim.run();
+        assert!(sim.stats.dropped_ttl > 0 || sim.stats.delivered_to(fig1_hosts::H2) > 0);
+    }
+
+    #[test]
+    fn fault_injection_drops_deterministically() {
+        let cfg = SimConfig { drop_chance: 1.0, ..SimConfig::default() };
+        let mut sim = Simulation::new(fig1(), NullController, cfg);
+        sim.install_proactive_routes();
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.total_delivered(), 0);
+        assert_eq!(sim.stats.dropped_fault, 1);
+
+        // Same seed → same outcome (determinism).
+        let cfg = SimConfig { drop_chance: 0.5, seed: 42, ..SimConfig::default() };
+        let run = |n: u64| {
+            let mut sim = Simulation::new(fig1(), NullController, cfg.clone());
+            sim.install_proactive_routes();
+            for i in 0..n {
+                sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, i));
+            }
+            sim.run();
+            sim.stats.total_delivered()
+        };
+        assert_eq!(run(100), run(100));
+    }
+
+    #[test]
+    fn ttl_guard_stops_forwarding_loops() {
+        let mut sim = Simulation::new(fig1(), NullController, SimConfig::default());
+        // S2 and S3 bounce packets to each other forever (S2 port2 ↔ S3
+        // port3).
+        sim.tables
+            .get_mut(&2)
+            .unwrap()
+            .install(FlowEntry::new(10, Match::any(), vec![Action::Output(2)]));
+        sim.tables
+            .get_mut(&3)
+            .unwrap()
+            .install(FlowEntry::new(10, Match::any(), vec![Action::Output(3)]));
+        sim.tables
+            .get_mut(&1)
+            .unwrap()
+            .install(FlowEntry::new(10, Match::any(), vec![Action::Output(1)]));
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.dropped_ttl, 1);
+        assert_eq!(sim.stats.total_delivered(), 0);
+    }
+}

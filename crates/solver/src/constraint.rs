@@ -1,0 +1,458 @@
+//! Constraint pools (§3.4).
+//!
+//! While expanding a meta provenance tree, the explorer "encodes the
+//! attributes of tuples as variables, and formulates constraints over these
+//! variables": join equalities (`B0.x == C0.x`), selection predicates
+//! (`C0.x + C0.y > 1`), head equalities, and primary-key implications
+//! (`D.x == D0.x implies D.y == 1`). This module is the constraint
+//! language; [`crate::solve`] is the two-tier solver.
+
+use mpr_ndlog::{CmpOp, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A symbolic term: a variable (named like `Const0.Val`), a literal value,
+/// or integer arithmetic over sub-terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum STerm {
+    /// A solver variable.
+    Var(String),
+    /// A literal.
+    Val(Value),
+    /// Integer addition.
+    Add(Box<STerm>, Box<STerm>),
+    /// Integer subtraction.
+    Sub(Box<STerm>, Box<STerm>),
+    /// Integer multiplication.
+    Mul(Box<STerm>, Box<STerm>),
+}
+
+impl STerm {
+    /// Variable shorthand.
+    pub fn var(name: impl Into<String>) -> Self {
+        STerm::Var(name.into())
+    }
+
+    /// Integer literal shorthand.
+    pub fn int(v: i64) -> Self {
+        STerm::Val(Value::Int(v))
+    }
+
+    /// All variables in the term.
+    pub fn vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            STerm::Var(v) => {
+                out.insert(v.clone());
+            }
+            STerm::Val(_) => {}
+            STerm::Add(l, r) | STerm::Sub(l, r) | STerm::Mul(l, r) => {
+                l.vars(out);
+                r.vars(out);
+            }
+        }
+    }
+
+    /// Evaluate under a (partial) assignment. `None` when a variable is
+    /// unbound or arithmetic is applied to non-integers.
+    pub fn eval(&self, asg: &Assignment) -> Option<Value> {
+        match self {
+            STerm::Var(v) => asg.get(v).cloned(),
+            STerm::Val(v) => Some(v.clone()),
+            STerm::Add(l, r) => arith(l, r, asg, |a, b| a.checked_add(b)),
+            STerm::Sub(l, r) => arith(l, r, asg, |a, b| a.checked_sub(b)),
+            STerm::Mul(l, r) => arith(l, r, asg, |a, b| a.checked_mul(b)),
+        }
+    }
+
+    /// All integer literals mentioned (used to seed candidate domains).
+    pub fn literals(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            STerm::Var(_) => {}
+            STerm::Val(v) => {
+                out.insert(v.clone());
+            }
+            STerm::Add(l, r) | STerm::Sub(l, r) | STerm::Mul(l, r) => {
+                l.literals(out);
+                r.literals(out);
+            }
+        }
+    }
+}
+
+fn arith(
+    l: &STerm,
+    r: &STerm,
+    asg: &Assignment,
+    f: impl Fn(i64, i64) -> Option<i64>,
+) -> Option<Value> {
+    let a = l.eval(asg)?.as_int()?;
+    let b = r.eval(asg)?.as_int()?;
+    f(a, b).map(Value::Int)
+}
+
+impl fmt::Display for STerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            STerm::Var(v) => f.write_str(v),
+            STerm::Val(v) => write!(f, "{v}"),
+            STerm::Add(l, r) => write!(f, "({l} + {r})"),
+            STerm::Sub(l, r) => write!(f, "({l} - {r})"),
+            STerm::Mul(l, r) => write!(f, "({l} * {r})"),
+        }
+    }
+}
+
+/// A constraint over symbolic terms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `lhs op rhs`.
+    Cmp {
+        /// Left term.
+        lhs: STerm,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        rhs: STerm,
+    },
+    /// Conjunction.
+    And(Vec<Constraint>),
+    /// Disjunction.
+    Or(Vec<Constraint>),
+    /// `if cond then cons` (primary-key constraints, §3.4).
+    Implies(Box<Constraint>, Box<Constraint>),
+    /// Negation.
+    Not(Box<Constraint>),
+    /// Always true (unit of And).
+    True,
+    /// Always false (unit of Or).
+    False,
+}
+
+impl Constraint {
+    /// `lhs op rhs` shorthand.
+    pub fn cmp(lhs: STerm, op: CmpOp, rhs: STerm) -> Self {
+        Constraint::Cmp { lhs, op, rhs }
+    }
+
+    /// `var == value` shorthand.
+    pub fn eq_val(var: impl Into<String>, value: Value) -> Self {
+        Constraint::cmp(STerm::var(var), CmpOp::Eq, STerm::Val(value))
+    }
+
+    /// `var1 == var2` shorthand.
+    pub fn eq_var(a: impl Into<String>, b: impl Into<String>) -> Self {
+        Constraint::cmp(STerm::var(a), CmpOp::Eq, STerm::var(b))
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Constraint::Cmp { lhs, rhs, .. } => {
+                lhs.vars(out);
+                rhs.vars(out);
+            }
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                for c in cs {
+                    c.collect_vars(out);
+                }
+            }
+            Constraint::Implies(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Constraint::Not(c) => c.collect_vars(out),
+            Constraint::True | Constraint::False => {}
+        }
+    }
+
+    /// All literals mentioned (seeds candidate domains).
+    pub fn literals(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_literals(&mut out);
+        out
+    }
+
+    fn collect_literals(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            Constraint::Cmp { lhs, rhs, .. } => {
+                lhs.literals(out);
+                rhs.literals(out);
+            }
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                for c in cs {
+                    c.collect_literals(out);
+                }
+            }
+            Constraint::Implies(a, b) => {
+                a.collect_literals(out);
+                b.collect_literals(out);
+            }
+            Constraint::Not(c) => c.collect_literals(out),
+            Constraint::True | Constraint::False => {}
+        }
+    }
+
+    /// Logical negation, with `Not` pushed inward (comparisons flip their
+    /// operator; De Morgan elsewhere).
+    pub fn negate(&self) -> Constraint {
+        match self {
+            Constraint::Cmp { lhs, op, rhs } => {
+                Constraint::Cmp { lhs: lhs.clone(), op: op.negate(), rhs: rhs.clone() }
+            }
+            Constraint::And(cs) => Constraint::Or(cs.iter().map(Constraint::negate).collect()),
+            Constraint::Or(cs) => Constraint::And(cs.iter().map(Constraint::negate).collect()),
+            Constraint::Implies(a, b) => {
+                Constraint::And(vec![(**a).clone(), b.negate()])
+            }
+            Constraint::Not(c) => (**c).clone(),
+            Constraint::True => Constraint::False,
+            Constraint::False => Constraint::True,
+        }
+    }
+
+    /// Three-valued evaluation under a partial assignment: `Some(bool)`
+    /// when decidable, `None` when unbound variables leave it open.
+    pub fn eval_partial(&self, asg: &Assignment) -> Option<bool> {
+        match self {
+            Constraint::Cmp { lhs, op, rhs } => {
+                let l = lhs.eval(asg)?;
+                let r = rhs.eval(asg)?;
+                Some(op.eval(&l, &r))
+            }
+            Constraint::And(cs) => {
+                let mut open = false;
+                for c in cs {
+                    match c.eval_partial(asg) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => open = true,
+                    }
+                }
+                if open {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Constraint::Or(cs) => {
+                let mut open = false;
+                for c in cs {
+                    match c.eval_partial(asg) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => open = true,
+                    }
+                }
+                if open {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Constraint::Implies(a, b) => match a.eval_partial(asg) {
+                Some(false) => Some(true),
+                Some(true) => b.eval_partial(asg),
+                None => match b.eval_partial(asg) {
+                    Some(true) => Some(true),
+                    _ => None,
+                },
+            },
+            Constraint::Not(c) => c.eval_partial(asg).map(|b| !b),
+            Constraint::True => Some(true),
+            Constraint::False => Some(false),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Constraint::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Constraint::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Constraint::Implies(a, b) => write!(f, "({a} => {b})"),
+            Constraint::Not(c) => write!(f, "!({c})"),
+            Constraint::True => f.write_str("true"),
+            Constraint::False => f.write_str("false"),
+        }
+    }
+}
+
+/// A (partial) assignment of values to solver variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    map: std::collections::BTreeMap<String, Value>,
+}
+
+impl Assignment {
+    /// Empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable.
+    pub fn set(&mut self, var: impl Into<String>, value: Value) {
+        self.map.insert(var.into(), value);
+    }
+
+    /// Value of a variable.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.map.iter()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_pushes_inward() {
+        let c = Constraint::And(vec![
+            Constraint::cmp(STerm::var("x"), CmpOp::Gt, STerm::int(0)),
+            Constraint::cmp(STerm::var("y"), CmpOp::Eq, STerm::int(2)),
+        ]);
+        let n = c.negate();
+        assert_eq!(
+            n,
+            Constraint::Or(vec![
+                Constraint::cmp(STerm::var("x"), CmpOp::Le, STerm::int(0)),
+                Constraint::cmp(STerm::var("y"), CmpOp::Ne, STerm::int(2)),
+            ])
+        );
+        // Double negation is identity on comparisons.
+        assert_eq!(n.negate().negate(), n);
+    }
+
+    #[test]
+    fn partial_eval_three_valued() {
+        let c = Constraint::And(vec![
+            Constraint::cmp(STerm::var("x"), CmpOp::Gt, STerm::int(0)),
+            Constraint::cmp(STerm::var("y"), CmpOp::Eq, STerm::int(2)),
+        ]);
+        let mut asg = Assignment::new();
+        assert_eq!(c.eval_partial(&asg), None);
+        asg.set("x", Value::Int(-1));
+        assert_eq!(c.eval_partial(&asg), Some(false)); // short-circuits
+        asg.set("x", Value::Int(5));
+        assert_eq!(c.eval_partial(&asg), None); // y unbound
+        asg.set("y", Value::Int(2));
+        assert_eq!(c.eval_partial(&asg), Some(true));
+    }
+
+    #[test]
+    fn implication_semantics() {
+        let imp = Constraint::Implies(
+            Box::new(Constraint::eq_val("x", Value::Int(9))),
+            Box::new(Constraint::eq_val("y", Value::Int(1))),
+        );
+        let mut asg = Assignment::new();
+        asg.set("x", Value::Int(8));
+        assert_eq!(imp.eval_partial(&asg), Some(true)); // antecedent false
+        asg.set("x", Value::Int(9));
+        assert_eq!(imp.eval_partial(&asg), None); // y unbound
+        asg.set("y", Value::Int(2));
+        assert_eq!(imp.eval_partial(&asg), Some(false));
+        asg.set("y", Value::Int(1));
+        assert_eq!(imp.eval_partial(&asg), Some(true));
+        // negation: x==9 && y!=1
+        let neg = imp.negate();
+        assert_eq!(neg.eval_partial(&asg), Some(false));
+    }
+
+    #[test]
+    fn arithmetic_terms() {
+        // x + y > 1 (the §3.4 example)
+        let c = Constraint::cmp(
+            STerm::Add(Box::new(STerm::var("x")), Box::new(STerm::var("y"))),
+            CmpOp::Gt,
+            STerm::int(1),
+        );
+        let mut asg = Assignment::new();
+        asg.set("x", Value::Int(0));
+        asg.set("y", Value::Int(2));
+        assert_eq!(c.eval_partial(&asg), Some(true));
+        asg.set("y", Value::Int(1));
+        assert_eq!(c.eval_partial(&asg), Some(false));
+        // arithmetic over strings is undecidable → None
+        asg.set("x", Value::str("s"));
+        assert_eq!(c.eval_partial(&asg), None);
+    }
+
+    #[test]
+    fn vars_and_literals_collected() {
+        let c = Constraint::Implies(
+            Box::new(Constraint::eq_var("D.x", "D0.x")),
+            Box::new(Constraint::eq_val("D.y", Value::Int(1))),
+        );
+        let vars = c.vars();
+        assert!(vars.contains("D.x"));
+        assert!(vars.contains("D0.x"));
+        assert!(vars.contains("D.y"));
+        assert!(c.literals().contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Constraint::Or(vec![
+            Constraint::eq_val("x", Value::Int(3)),
+            Constraint::Not(Box::new(Constraint::True)),
+        ]);
+        assert_eq!(c.to_string(), "(x == 3 || !(true))");
+        let mut a = Assignment::new();
+        a.set("x", Value::Int(3));
+        assert_eq!(a.to_string(), "{x=3}");
+    }
+}

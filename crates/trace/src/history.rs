@@ -1,0 +1,178 @@
+//! The replayable history log.
+//!
+//! "At runtime, the controller and the network each record relevant
+//! control-plane messages and packets to a log, which can be used to answer
+//! diagnostic queries later" (§5.1). The history is also the input to
+//! backtesting (§4.3): candidate repairs are evaluated against the packets
+//! the network actually saw. Each entry is charged the paper's 120 bytes
+//! (packet header + timestamp) for the §5.4 storage accounting.
+
+use mpr_sdn::controller::PacketInMsg;
+use mpr_sdn::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// The paper's per-entry log cost (§5.4: "a 120-byte log entry that
+/// contains the packet header and the timestamp").
+pub const LOG_ENTRY_BYTES: u64 = 120;
+
+/// One logged ingress packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Simulated time of the PacketIn.
+    pub time: u64,
+    /// Switch that punted.
+    pub switch: i64,
+    /// Ingress port.
+    pub in_port: i64,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// A replayable log of what the controller saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    /// Entries in time order.
+    pub entries: Vec<HistoryEntry>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capture a simulation's PacketIn log.
+    pub fn from_packet_ins(log: &[(u64, PacketInMsg)]) -> History {
+        History {
+            entries: log
+                .iter()
+                .map(|(t, m)| HistoryEntry {
+                    time: *t,
+                    switch: m.switch,
+                    in_port: m.in_port,
+                    packet: m.packet.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Record one entry.
+    pub fn push(&mut self, time: u64, switch: i64, in_port: i64, packet: Packet) {
+        self.entries.push(HistoryEntry { time, switch, in_port, packet });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Storage footprint under the paper's 120-byte entries.
+    pub fn storage_bytes(&self) -> u64 {
+        self.entries.len() as u64 * LOG_ENTRY_BYTES
+    }
+
+    /// Logging rate in MB/s given the wall-clock duration the log covers.
+    pub fn rate_mb_per_s(&self, duration_secs: f64) -> f64 {
+        if duration_secs <= 0.0 {
+            return 0.0;
+        }
+        self.storage_bytes() as f64 / 1e6 / duration_secs
+    }
+
+    /// Take a deterministic 1-in-`n` sample ("to generate a plausible
+    /// workload, we can use … a sample of packets", §4.3).
+    pub fn sample(&self, n: usize) -> History {
+        if n <= 1 {
+            return self.clone();
+        }
+        History {
+            entries: self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % n == 0)
+                .map(|(_, e)| e.clone())
+                .collect(),
+        }
+    }
+
+    /// Entries within `[from, to)`.
+    pub fn window(&self, from: u64, to: u64) -> History {
+        History {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.time >= from && e.time < to)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serialize to JSON (the on-disk log format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("history serializes")
+    }
+
+    /// Parse the JSON log format.
+    pub fn from_json(s: &str) -> Result<History, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(n: usize) -> History {
+        let mut h = History::new();
+        for i in 0..n {
+            h.push(i as u64 * 10, 1, 0, Packet::http(i as u64, 5, 10));
+        }
+        h
+    }
+
+    #[test]
+    fn storage_accounting_uses_paper_entry_size() {
+        let h = hist(1000);
+        assert_eq!(h.storage_bytes(), 120_000);
+        assert!((h.rate_mb_per_s(1.0) - 0.12).abs() < 1e-9);
+        assert_eq!(h.rate_mb_per_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn sampling_and_windowing() {
+        let h = hist(100);
+        assert_eq!(h.sample(10).len(), 10);
+        assert_eq!(h.sample(1).len(), 100);
+        let w = h.window(100, 300);
+        assert_eq!(w.len(), 20);
+        assert!(w.entries.iter().all(|e| e.time >= 100 && e.time < 300));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = hist(5);
+        let parsed = History::from_json(&h.to_json()).unwrap();
+        assert_eq!(parsed, h);
+        assert!(History::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn from_packet_ins_preserves_order() {
+        use mpr_sdn::controller::PacketInMsg;
+        let log = vec![
+            (5u64, PacketInMsg { switch: 1, in_port: 0, packet: Packet::http(0, 1, 2) }),
+            (9u64, PacketInMsg { switch: 2, in_port: 3, packet: Packet::dns(1, 1, 17) }),
+        ];
+        let h = History::from_packet_ins(&log);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.entries[0].time, 5);
+        assert_eq!(h.entries[1].switch, 2);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! # mpr-trace — workloads and replayable history
+//!
+//! The traffic substrate of the reproduction (§5.2/§5.4):
+//!
+//! - [`workload::Workload`] — deterministic synthetic campus traffic with
+//!   protocol mixes, Zipf-ish client popularity, and two profiles standing
+//!   in for the Benson et al. campus traces (see DESIGN.md §2 for the
+//!   substitution argument);
+//! - [`history::History`] — the 120-byte-per-entry ingress log the
+//!   controller records at runtime, which backtesting replays (§4.3) and
+//!   the storage experiment sizes (§5.4).
+
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod workload;
+
+pub use history::{History, HistoryEntry, LOG_ENTRY_BYTES};
+pub use workload::{Injection, Mix, Workload};
