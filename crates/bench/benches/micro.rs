@@ -1,5 +1,5 @@
-//! Criterion micro-benchmarks — ablations for the design choices DESIGN.md
-//! calls out: pipelined-delta evaluation, the solver's two tiers, flow
+//! Criterion micro-benchmarks — ablations for the reproduction's main
+//! design choices: pipelined-delta evaluation, the solver's two tiers, flow
 //! table lookup, and MQO tag-set construction.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};

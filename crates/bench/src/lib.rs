@@ -2,8 +2,8 @@
 //!
 //! One bench target per table and figure of the paper's evaluation (§5 and
 //! the appendices). Every target prints the same rows/series the paper
-//! reports and writes a JSON artifact next to the target directory so
-//! EXPERIMENTS.md can cite exact numbers.
+//! reports and writes a JSON artifact under `target/paper-results/` so the
+//! README's figure→bench mapping can cite exact numbers.
 //!
 //! | target     | reproduces |
 //! |------------|------------|

@@ -4,8 +4,8 @@
 //!
 //! - [`workload::Workload`] — deterministic synthetic campus traffic with
 //!   protocol mixes, Zipf-ish client popularity, and two profiles standing
-//!   in for the Benson et al. campus traces (see DESIGN.md §2 for the
-//!   substitution argument);
+//!   in for the Benson et al. campus traces (synthetic stand-ins, since the
+//!   original traces are not redistributable);
 //! - [`history::History`] — the 120-byte-per-entry ingress log the
 //!   controller records at runtime, which backtesting replays (§4.3) and
 //!   the storage experiment sizes (§5.4).

@@ -1,0 +1,415 @@
+//! Derive macros for the vendored mini-`serde`.
+//!
+//! The registry is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; this crate parses the derive input token stream by hand.
+//! It supports exactly the shapes the workspace uses — non-generic structs
+//! (named, tuple, unit) and non-generic enums (unit, tuple, and struct
+//! variants) — and generates `serde::Serialize` / `serde::Deserialize`
+//! impls over the `serde::Value` tree using serde's externally-tagged enum
+//! encoding:
+//!
+//! - named struct       → `{"field": ...}`
+//! - newtype struct     → inner value
+//! - tuple struct       → `[...]`
+//! - unit variant       → `"Variant"`
+//! - newtype variant    → `{"Variant": value}`
+//! - tuple variant      → `{"Variant": [...]}`
+//! - struct variant     → `{"Variant": {"field": ...}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (see the crate docs for the encoding).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    render(ser(&def))
+}
+
+/// Derive `serde::Deserialize` (see the crate docs for the encoding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    render(de(&def))
+}
+
+fn render(src: String) -> TokenStream {
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// A parsed `struct` or `enum` definition.
+enum Def {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// The field list of a struct or enum variant.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — field count.
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip `#[...]` attributes (doc comments arrive in this form too).
+    fn skip_attrs(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.pos += 1; // '#'
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skip `pub` / `pub(...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume a type (or any token run) up to a top-level `,`, tracking
+    /// `<`/`>` depth. Groups are atomic tokens, so only angle brackets need
+    /// counting. Returns `true` if a comma was consumed.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.pos += 1;
+                    return true;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+fn parse(input: TokenStream) -> Def {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    match kind.as_str() {
+        "struct" => Def::Struct { name, fields: parse_fields_after_name(&mut c) },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Def::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: expected struct/enum, found `{other}`"),
+    }
+}
+
+/// Parse what follows a struct's name: `{...}`, `(...);`, or `;`.
+fn parse_fields_after_name(c: &mut Cursor) -> Fields {
+    match c.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            c.pos += 1;
+            fields
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = Fields::Tuple(count_tuple_fields(g.stream()));
+            c.pos += 1;
+            fields
+        }
+        _ => Fields::Unit, // `struct Name;` — the `;` is not in the stream we care about
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let field = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        names.push(field);
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut n = 0;
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        n += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+        // Trailing comma: the loop exits via `at_end` next round.
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        c.skip_until_comma();
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+/// `("a".to_string(), serde::Serialize::to_value(<expr>))` pairs for an
+/// object literal.
+fn obj_pairs(fields: &[String], expr: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&{})),", expr(f)))
+        .collect()
+}
+
+fn ser(def: &Def) -> String {
+    match def {
+        Def::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => format!(
+                    "serde::Value::Object(vec![{}])",
+                    obj_pairs(names, |f| format!("self.{f}"))
+                ),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => format!(
+                    "serde::Value::Array(vec![{}])",
+                    (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                        .collect::<String>()
+                ),
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n                     fn to_value(&self) -> serde::Value {{ {body} }}\n                 }}"
+            )
+        }
+        Def::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => serde::Value::String({v:?}.to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            format!(
+                                "serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                    .collect::<String>()
+                            )
+                        };
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Object(vec![({v:?}.to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => format!(
+                        "{name}::{v} {{ {} }} => serde::Value::Object(vec![({v:?}.to_string(), serde::Value::Object(vec![{}]))]),",
+                        names.join(", "),
+                        obj_pairs(names, |f| f.to_string())
+                    ),
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n                     fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n                 }}"
+            )
+        }
+    }
+}
+
+/// `field: serde::Deserialize::from_value(...)?,` initializers for a named
+/// field list pulled out of object entries `obj`.
+fn named_inits(ty: &str, names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(serde::__private::field(obj, {ty:?}, {f:?})?)?,"
+            )
+        })
+        .collect()
+}
+
+fn de(def: &Def) -> String {
+    let body = match def {
+        Def::Struct { name, fields } => match fields {
+            Fields::Named(names) => format!(
+                "let obj = match v {{
+                     serde::Value::Object(m) => m,
+                     _ => return serde::__private::unexpected({name:?}, \"object\", v),
+                 }};
+                 Ok({name} {{ {} }})",
+                named_inits(name, names)
+            ),
+            Fields::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+            Fields::Tuple(n) => format!(
+                "let a = match v {{
+                     serde::Value::Array(a) if a.len() == {n} => a,
+                     _ => return serde::__private::unexpected({name:?}, \"{n}-element array\", v),
+                 }};
+                 Ok({name}({}))",
+                (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&a[{i}])?,"))
+                    .collect::<String>()
+            ),
+            Fields::Unit => format!("Ok({name})"),
+        },
+        Def::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => String::new(),
+                    Fields::Tuple(1) => format!(
+                        "{v:?} => Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),"
+                    ),
+                    Fields::Tuple(n) => format!(
+                        "{v:?} => {{
+                             let a = match inner {{
+                                 serde::Value::Array(a) if a.len() == {n} => a,
+                                 _ => return serde::__private::unexpected({name:?}, \"{n}-element array\", v),
+                             }};
+                             Ok({name}::{v}({}))
+                         }},",
+                        (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&a[{i}])?,"))
+                            .collect::<String>()
+                    ),
+                    Fields::Named(names) => format!(
+                        "{v:?} => {{
+                             let obj = match inner {{
+                                 serde::Value::Object(m) => m,
+                                 _ => return serde::__private::unexpected({name:?}, \"object\", v),
+                             }};
+                             Ok({name}::{v} {{ {} }})
+                         }},",
+                        named_inits(&format!("{name}::{v}"), names)
+                    ),
+                })
+                .collect();
+            format!(
+                "match v {{
+                     serde::Value::String(s) => match s.as_str() {{
+                         {unit_arms}
+                         _ => serde::__private::unexpected({name:?}, \"known variant\", v),
+                     }},
+                     serde::Value::Object(m) if m.len() == 1 => {{
+                         let (tag, inner) = &m[0];
+                         let _ = inner; // silence `unused` when every variant is a unit
+                         match tag.as_str() {{
+                             {data_arms}
+                             _ => serde::__private::unexpected({name:?}, \"known variant\", v),
+                         }}
+                     }}
+                     _ => serde::__private::unexpected({name:?}, \"variant\", v),
+                 }}"
+            )
+        }
+    };
+    let name = match def {
+        Def::Struct { name, .. } | Def::Enum { name, .. } => name,
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n             fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n         }}"
+    )
+}
