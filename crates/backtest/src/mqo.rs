@@ -21,8 +21,9 @@
 //! diverge from the sequential engine.
 
 use crate::replay::{BacktestSetup, ReplayOutcome};
+use mpr_ndlog::ast::{Atom, CmpOp, Expr, Term};
 use mpr_ndlog::eval::{CountingFuncs, Env};
-use mpr_ndlog::{Program, Rule, Tuple};
+use mpr_ndlog::{Program, Rule, Tuple, Value};
 use mpr_runtime::engine::{instantiate, match_atom};
 use mpr_sdn::controller::{CtrlMsg, PacketInMsg};
 use mpr_sdn::flowtable::{Action, FlowTable};
@@ -123,11 +124,123 @@ pub fn build_tagged_program(base: &Program, candidates: &[Program]) -> TaggedPro
     TaggedProgram { variants, n: candidates.len(), coalesced }
 }
 
+/// Constant-keyed variant dispatch for one delta table — the tagged
+/// evaluator's mirror of the batch engine's trigger dispatch. Variants
+/// whose selections pin the delta atom's value at `col` to a constant are
+/// grouped by that constant, so a delta visits only the matching group
+/// plus the residual variants instead of scanning the whole backtesting
+/// program (which Fig. 10's padded policies make `O(rules)` per delta).
+///
+/// Only `Int`/`Str`/`Bool` constants are keyed (`HashMap` equality matches
+/// `CmpOp::Eq` on those variants, and never on `Wild`), and a variant is
+/// keyed only when *every* body position the delta table occurs at agrees
+/// on the constant — the selections still run after the join, so the
+/// grouping never changes which variants fire.
+struct VariantDispatch {
+    /// Delta column the keyed groups test (`0` = location).
+    col: usize,
+    /// Variant indices keyed by their constant at `col`, each ascending.
+    keyed: HashMap<Value, Vec<usize>>,
+    /// Variant indices with no usable constant at `col`, ascending.
+    rest: Vec<usize>,
+}
+
+/// Is `v` a variant on which `HashMap` equality matches `CmpOp::Eq`?
+fn keyable(v: &Value) -> bool {
+    matches!(v, Value::Int(_) | Value::Str(_) | Value::Bool(_))
+}
+
+/// `(column, constant)` pairs a delta bound at `atom` must carry for
+/// `rule`'s `Var == Const` selections to pass.
+fn atom_prefilter(rule: &Rule, atom: &Atom) -> Vec<(usize, Value)> {
+    rule.sels
+        .iter()
+        .filter(|s| s.op == CmpOp::Eq)
+        .filter_map(|s| match (&s.lhs, &s.rhs) {
+            (Expr::Var(v), Expr::Const(c)) | (Expr::Const(c), Expr::Var(v)) => Some((v, c)),
+            _ => None,
+        })
+        .filter_map(|(v, c)| {
+            let col = if atom.loc == Term::Var(v.clone()) {
+                Some(0)
+            } else {
+                atom.args.iter().position(|t| *t == Term::Var(v.clone())).map(|i| i + 1)
+            };
+            col.map(|col| (col, c.clone()))
+        })
+        .collect()
+}
+
+/// Build the per-table variant dispatch for a tagged program.
+fn build_dispatch(program: &TaggedProgram) -> HashMap<String, VariantDispatch> {
+    // `(col, const)` pairs that hold at *every* position the table occurs
+    // at in the variant's body (a self-join could bind the delta at any).
+    let common = |rule: &Rule, table: &str| -> Vec<(usize, Value)> {
+        let mut positions = rule.body.iter().filter(|a| a.table == table);
+        let Some(first) = positions.next() else { return Vec::new() };
+        let mut pf = atom_prefilter(rule, first);
+        for atom in positions {
+            let other = atom_prefilter(rule, atom);
+            pf.retain(|e| other.contains(e));
+        }
+        pf
+    };
+    let mut tables: Vec<&str> = Vec::new();
+    for v in &program.variants {
+        for a in &v.rule.body {
+            if !tables.contains(&a.table.as_str()) {
+                tables.push(&a.table);
+            }
+        }
+    }
+    tables
+        .into_iter()
+        .map(|table| {
+            let members: Vec<usize> = program
+                .variants
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.rule.body.iter().any(|a| a.table == table))
+                .map(|(vi, _)| vi)
+                .collect();
+            let mut votes: HashMap<usize, usize> = HashMap::new();
+            for &vi in &members {
+                for (col, val) in common(&program.variants[vi].rule, table) {
+                    if keyable(&val) {
+                        *votes.entry(col).or_default() += 1;
+                    }
+                }
+            }
+            let col = votes
+                .iter()
+                .max_by_key(|&(&c, &n)| (n, std::cmp::Reverse(c)))
+                .map(|(&c, _)| c);
+            let mut d = VariantDispatch {
+                col: col.unwrap_or(0),
+                keyed: HashMap::new(),
+                rest: Vec::new(),
+            };
+            for &vi in &members {
+                let pf = common(&program.variants[vi].rule, table);
+                let keyed =
+                    col.and_then(|col| pf.into_iter().find(|&(c, ref v)| c == col && keyable(v)));
+                match keyed {
+                    Some((_, v)) => d.keyed.entry(v).or_default().push(vi),
+                    None => d.rest.push(vi),
+                }
+            }
+            (table.to_string(), d)
+        })
+        .collect()
+}
+
 /// Tagged controller state: tuples annotated with the candidates they
 /// exist for.
 struct TaggedEngine<'a> {
     program: &'a TaggedProgram,
     codec: &'a mpr_sdn::controller::TupleCodec,
+    /// table → constant-keyed variant groups (see [`VariantDispatch`]).
+    dispatch: HashMap<String, VariantDispatch>,
     /// table → [(tuple, tags)]
     state: HashMap<String, Vec<(Tuple, TagSet)>>,
     funcs: CountingFuncs,
@@ -144,7 +257,13 @@ impl<'a> TaggedEngine<'a> {
         for s in seeds {
             state.entry(s.table.clone()).or_default().push((s.clone(), full));
         }
-        TaggedEngine { program, codec, state, funcs: CountingFuncs::starting_at(1000) }
+        TaggedEngine {
+            program,
+            codec,
+            dispatch: build_dispatch(program),
+            state,
+            funcs: CountingFuncs::starting_at(1000),
+        }
     }
 
     /// Insert a state tuple for `tags`; returns the tag bits that are new.
@@ -173,7 +292,40 @@ impl<'a> TaggedEngine<'a> {
             if guard > 100_000 {
                 break; // runaway guard; candidate is hopeless anyway
             }
-            for vi in 0..self.program.variants.len() {
+            // Variants this delta can fire: its value's keyed group merged
+            // with the residual list, in ascending (original) order so the
+            // output matches the full scan exactly.
+            let order: Vec<usize> = {
+                let Some(d) = self.dispatch.get(&delta.table) else { continue };
+                let keyed: &[usize] = if d.keyed.is_empty() {
+                    &[]
+                } else {
+                    let got = if d.col == 0 {
+                        Some(&delta.loc)
+                    } else {
+                        delta.args.get(d.col - 1)
+                    };
+                    got.and_then(|v| d.keyed.get(v)).map_or(&[], Vec::as_slice)
+                };
+                let mut order = Vec::with_capacity(keyed.len() + d.rest.len());
+                let (mut i, mut j) = (0, 0);
+                while i < keyed.len() || j < d.rest.len() {
+                    let from_keyed = match (keyed.get(i), d.rest.get(j)) {
+                        (Some(a), Some(b)) => a < b,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    if from_keyed {
+                        order.push(keyed[i]);
+                        i += 1;
+                    } else {
+                        order.push(d.rest[j]);
+                        j += 1;
+                    }
+                }
+                order
+            };
+            for vi in order {
                 let active = self.program.variants[vi].mask & dtags;
                 if active == 0 {
                     continue;

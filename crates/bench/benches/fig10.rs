@@ -2,7 +2,7 @@
 //! program size (100 → 900 lines). (Paper: linear, with a stable number of
 //! repairs — the provenance forest only explores relevant rules.)
 
-use mpr_bench::{header, write_artifact};
+use mpr_bench::{header, quick_mode, reps, write_artifact};
 use mpr_core::debugger::repair_scenario;
 use mpr_core::scenarios::Scenario;
 
@@ -12,10 +12,19 @@ fn main() {
         "{:>7} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "Lines", "History", "Constraint", "PatchGen", "Replay", "Total", "Repairs"
     );
+    let sizes: &[usize] =
+        if quick_mode() { &[100, 300] } else { &[100, 300, 500, 700, 900] };
     let mut series = Vec::new();
-    for lines in [100usize, 300, 500, 700, 900] {
+    for &lines in sizes {
         let scenario = Scenario::q1_padded(lines);
-        let report = repair_scenario(&scenario);
+        // Fastest of `reps()` runs (see fig9a).
+        let mut report = repair_scenario(&scenario);
+        for _ in 1..reps() {
+            let again = repair_scenario(&scenario);
+            if again.timings.total() < report.timings.total() {
+                report = again;
+            }
+        }
         let t = &report.timings;
         let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
         println!(

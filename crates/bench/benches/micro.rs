@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mpr_backtest::mqo::build_tagged_program;
 use mpr_ndlog::{CmpOp, Tuple, Value};
-use mpr_runtime::Engine;
+use mpr_runtime::{Engine, EvalStrategy, Options};
 use mpr_sdn::flowtable::{Action, FlowEntry, FlowTable, Match};
 use mpr_sdn::packet::{Field, Packet};
 use mpr_solver::{Constraint, Pool, STerm};
@@ -28,6 +28,29 @@ fn bench_engine(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Head-to-head strategy ablation on the identical workload, with the
+    // strategy pinned explicitly so the process-global default is irrelevant.
+    for strategy in [EvalStrategy::Pipelined, EvalStrategy::Batch] {
+        c.bench_function(&format!("engine/packetin_insert/{strategy}"), |b| {
+            b.iter_batched(
+                || {
+                    Engine::with_options(&program, Options { strategy, ..Options::default() })
+                        .unwrap()
+                },
+                |mut e| {
+                    for i in 0..100 {
+                        e.insert(Tuple::new(
+                            "PacketIn",
+                            Value::str("C"),
+                            vec![Value::Int(1 + i % 5), Value::Int(80)],
+                        ))
+                        .unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_solver(c: &mut Criterion) {

@@ -23,6 +23,25 @@ use mpr_core::debugger::RepairReport;
 use std::fs;
 use std::path::PathBuf;
 
+/// Whether `MPR_BENCH_QUICK` asks for a smoke-test pass. CI sets this to
+/// keep the fig9a/fig10 targets to a few seconds: quick mode shrinks the
+/// scenario sets and sweep sizes while still exercising the full
+/// diagnose → repair → backtest pipeline.
+pub fn quick_mode() -> bool {
+    std::env::var("MPR_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Repetitions for the turnaround sweeps: each configuration runs this
+/// many times and the fastest run is reported, which suppresses scheduler
+/// noise on a shared machine (1 in quick mode).
+pub fn reps() -> usize {
+    if quick_mode() {
+        1
+    } else {
+        3
+    }
+}
+
 /// Where JSON artifacts land (`target/paper-results/`).
 pub fn artifact_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -312,7 +312,9 @@ fn emit_state_insertion(
     // Bind what we can from the environment plus the head requirements.
     let mut full = env.clone();
     for (k, v) in required {
-        full.entry(k.clone()).or_insert_with(|| v.clone());
+        if !full.contains_key(k) {
+            full.insert(k.clone(), v.clone());
+        }
     }
     // Remaining free variables are solved against the rule's selections.
     let mut pool = mpr_solver::Pool::new();

@@ -236,6 +236,23 @@ impl Atom {
     pub fn has_agg(&self) -> bool {
         self.args.iter().any(|t| matches!(t, Term::Agg(..)))
     }
+
+    /// The columns of this atom whose value is determined once every
+    /// variable in `bound` has a binding: constants, plus variables drawn
+    /// from `bound`. Column `0` is the location, column `i + 1` is argument
+    /// `i`. This is the join-planning hook: an evaluation engine can hash
+    /// a relation on exactly these columns and probe instead of scanning.
+    pub fn bound_positions(&self, bound: &BTreeSet<String>) -> Vec<(usize, &Term)> {
+        let determined = |t: &Term| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+            Term::Agg(..) => false,
+        };
+        std::iter::once((0usize, &self.loc))
+            .chain(self.args.iter().enumerate().map(|(i, t)| (i + 1, t)))
+            .filter(|(_, t)| determined(t))
+            .collect()
+    }
 }
 
 impl fmt::Display for Atom {

@@ -8,10 +8,90 @@
 use crate::ast::{BinOp, Expr, Selection};
 use crate::error::EvalError;
 use crate::value::Value;
-use std::collections::BTreeMap;
 
 /// A variable environment: name → value.
-pub type Env = BTreeMap<String, Value>;
+///
+/// Rule bodies bind a handful of variables, so the map is a name-sorted
+/// vector: lookups binary-search, iteration is ordered by name (like the
+/// `BTreeMap` this replaces), and — the property the join loops lean on —
+/// cloning is one allocation instead of one per tree node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Env {
+    entries: Vec<(String, Value)>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, name: &str) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name))
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.position(name).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// `true` when `name` is bound.
+    pub fn contains_key(&self, name: &str) -> bool {
+        self.position(name).is_ok()
+    }
+
+    /// Bind `name` to `value`, returning the previous binding if present.
+    pub fn insert(&mut self, name: String, value: Value) -> Option<Value> {
+        match self.position(&name) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (name, value));
+                None
+            }
+        }
+    }
+
+    /// Remove the binding of `name`, returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.position(name).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// The bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Env {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut env = Env::new();
+        for (k, v) in iter {
+            env.insert(k, v);
+        }
+        env
+    }
+}
+
+impl<'a> IntoIterator for &'a Env {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
 
 /// Host for built-in functions referenced by `Expr::Call`.
 pub trait FuncHost {

@@ -114,6 +114,32 @@ impl Default for ExplainOptions {
     }
 }
 
+/// The *net* derivation set of an execution: every `(rule, head, body)`
+/// combination whose DERIVE events strictly outnumber its UNDERIVE events,
+/// keyed by tuple **values** rather than instance ids (body tuples sorted).
+///
+/// This is the provenance-equivalence invariant the differential harness
+/// checks: the pipelined and batch strategies may fire a shared body
+/// combination a different number of times (support-count multiplicities
+/// differ), but because duplicate firings carry identical body sets, every
+/// retraction cascade underives them together — so the *net* sets agree.
+pub fn derivation_set(log: &ExecLog) -> BTreeSet<(String, Tuple, Vec<Tuple>)> {
+    let value_of = |tid: TupleId| log.tuples[tid as usize].tuple.clone();
+    let mut net: std::collections::BTreeMap<(String, Tuple, Vec<Tuple>), i64> =
+        std::collections::BTreeMap::new();
+    for ev in &log.events {
+        let (rule, head, body, sign) = match ev {
+            ExecEvent::Derive { rule, head, body, .. } => (rule, head, body, 1),
+            ExecEvent::Underive { rule, head, body, .. } => (rule, head, body, -1),
+            _ => continue,
+        };
+        let mut body_vals: Vec<Tuple> = body.iter().map(|&t| value_of(t)).collect();
+        body_vals.sort();
+        *net.entry((rule.clone(), value_of(*head), body_vals)).or_insert(0) += sign;
+    }
+    net.into_iter().filter(|&(_, n)| n > 0).map(|(k, _)| k).collect()
+}
+
 /// Explain why `tuple` existed at time `at`. Returns `None` if no matching
 /// instance was alive then.
 pub fn explain_exist(log: &ExecLog, tuple: &Tuple, at: Time) -> Option<ProvTree> {

@@ -23,7 +23,7 @@ pub mod graph;
 pub mod vertex;
 
 pub use graph::{
-    explain_absent, explain_absent_with, explain_exist, explain_exist_with, ExplainOptions,
-    ProvTree,
+    derivation_set, explain_absent, explain_absent_with, explain_exist, explain_exist_with,
+    ExplainOptions, ProvTree,
 };
 pub use vertex::{Pattern, Vertex};

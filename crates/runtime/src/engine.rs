@@ -1,12 +1,23 @@
 //! The NDlog evaluation engine.
 //!
-//! Evaluation is *pipelined semi-naive* (the strategy RapidNet uses, and
-//! the one the paper's provenance model assumes): every inserted or derived
-//! tuple becomes a *delta* that is joined against the materialized state of
-//! the other predicates of each rule it can trigger. Derived state carries
-//! support counts so deletions cascade correctly (UNDERIVE/DISAPPEAR,
-//! §3.1); tables with declared primary keys follow NDlog's replacement
-//! semantics.
+//! Two evaluation strategies share one semantic core, selected at runtime
+//! via [`EvalStrategy`]:
+//!
+//! - [`EvalStrategy::Batch`] (the default) — *batch semi-naive iteration*:
+//!   each fixpoint runs in rounds; a whole round's delta is joined at once
+//!   against keyed hash indexes ([`crate::index`]) on the join columns,
+//!   with per-relation stable/recent/delta partitions ([`crate::delta`])
+//!   ensuring each new body combination fires exactly once per round.
+//! - [`EvalStrategy::Pipelined`] — the strategy RapidNet uses (and the one
+//!   the paper's provenance model assumes): every inserted or derived
+//!   tuple becomes a *delta* that is joined, one tuple at a time, against
+//!   full scans of the materialized state.
+//!
+//! Both strategies produce the same fixpoints and provenance-equivalent
+//! derivations (`tests/differential.rs` proves this over generated
+//! programs). Derived state carries support counts so deletions cascade
+//! correctly (UNDERIVE/DISAPPEAR, §3.1); tables with declared primary keys
+//! follow NDlog's replacement semantics.
 //!
 //! Event tables (`materialize(..., event, ...)`) are transient: their
 //! tuples trigger rules at their instant of insertion but are never stored,
@@ -14,12 +25,82 @@
 //! passes — this is exactly how a `PacketIn` installs a persistent
 //! `FlowTable` entry.
 
+use crate::batch::{self, RulePlan};
+use crate::delta::{DeltaTracker, RelationDeltaStats};
+use crate::index::IndexRegistry;
 use crate::log::{ExecEvent, ExecLog, Time, TupleId, TupleKind, TupleRecord};
 use crate::store::{AddOutcome, DropOutcome, Store};
 use mpr_ndlog::ast::{AggKind, Atom, Rule, Term};
 use mpr_ndlog::eval::{CountingFuncs, Env};
 use mpr_ndlog::{Program, Schema, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How the engine propagates deltas to fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalStrategy {
+    /// Per-tuple pipelined semi-naive: each delta joins against full table
+    /// scans immediately. The original engine; kept as the differential
+    /// baseline.
+    Pipelined,
+    /// Batch semi-naive: whole rounds of deltas join at once through keyed
+    /// hash indexes, with stable/recent/delta partitions per relation.
+    Batch,
+}
+
+/// Process-wide default strategy: 0 = undecided, 1 = pipelined, 2 = batch.
+static DEFAULT_STRATEGY: AtomicU8 = AtomicU8::new(0);
+
+impl EvalStrategy {
+    /// The process-wide default used by [`Options::default`]. Decided on
+    /// first use from the `MPR_EVAL_STRATEGY` environment variable
+    /// (`pipelined` or `batch`, case-insensitive), falling back to
+    /// [`EvalStrategy::Batch`]; later changed with
+    /// [`EvalStrategy::set_global_default`].
+    pub fn global_default() -> EvalStrategy {
+        match DEFAULT_STRATEGY.load(Ordering::Relaxed) {
+            1 => EvalStrategy::Pipelined,
+            2 => EvalStrategy::Batch,
+            _ => {
+                let from_env = std::env::var("MPR_EVAL_STRATEGY")
+                    .map(|v| v.to_ascii_lowercase())
+                    .ok();
+                let s = match from_env.as_deref() {
+                    Some("pipelined") | Some("per-tuple") => EvalStrategy::Pipelined,
+                    _ => EvalStrategy::Batch,
+                };
+                EvalStrategy::set_global_default(s);
+                s
+            }
+        }
+    }
+
+    /// Override the process-wide default strategy (benchmark sweeps, the
+    /// dual-strategy end-to-end tests). Engines already built keep the
+    /// strategy they were built with.
+    pub fn set_global_default(s: EvalStrategy) {
+        let code = match s {
+            EvalStrategy::Pipelined => 1,
+            EvalStrategy::Batch => 2,
+        };
+        DEFAULT_STRATEGY.store(code, Ordering::Relaxed);
+    }
+}
+
+impl Default for EvalStrategy {
+    fn default() -> Self {
+        EvalStrategy::global_default()
+    }
+}
+
+impl std::fmt::Display for EvalStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalStrategy::Pipelined => write!(f, "pipelined"),
+            EvalStrategy::Batch => write!(f, "batch"),
+        }
+    }
+}
 
 /// Engine construction error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,11 +205,18 @@ pub struct Options {
     pub max_derivations: u64,
     /// Seed for `f_unique()` so runs are reproducible.
     pub unique_seed: i64,
+    /// How deltas propagate to fixpoint (see [`EvalStrategy`]).
+    pub strategy: EvalStrategy,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { record_events: true, max_derivations: 50_000_000, unique_seed: 1000 }
+        Options {
+            record_events: true,
+            max_derivations: 50_000_000,
+            unique_seed: 1000,
+            strategy: EvalStrategy::default(),
+        }
     }
 }
 
@@ -144,21 +232,21 @@ pub struct StepResult {
 }
 
 #[derive(Debug, Clone)]
-struct AggSpec {
+pub(crate) struct AggSpec {
     kind: AggKind,
     /// Variable under the aggregate.
     value_var: String,
 }
 
 #[derive(Debug, Clone)]
-struct CompiledRule {
-    rule: Rule,
+pub(crate) struct CompiledRule {
+    pub(crate) rule: Rule,
     /// Is the head an event table?
     head_is_event: bool,
     /// Variable sets per selection (for earliest evaluation).
     sel_vars: Vec<BTreeSet<String>>,
     /// Aggregate spec, if the head carries one.
-    agg: Option<AggSpec>,
+    pub(crate) agg: Option<AggSpec>,
 }
 
 #[derive(Debug)]
@@ -181,11 +269,13 @@ struct AggGroup {
 
 /// The engine. See the module docs for semantics.
 pub struct Engine {
-    rules: Vec<CompiledRule>,
+    pub(crate) rules: Vec<CompiledRule>,
     /// table → (rule index, body atom index) that the table can trigger.
-    triggers: HashMap<String, Vec<(usize, usize)>>,
+    /// Shared so the drain loops can hold a table's list across `&mut self`
+    /// firing calls without copying it per delta tuple.
+    pub(crate) triggers: HashMap<String, std::sync::Arc<Vec<(usize, usize)>>>,
     store: Store,
-    log: ExecLog,
+    pub(crate) log: ExecLog,
     opts: Options,
     funcs: CountingFuncs,
     time: Time,
@@ -195,6 +285,20 @@ pub struct Engine {
     agg_groups: HashMap<(usize, Vec<Value>), AggGroup>,
     agg_contrib: HashMap<TupleId, Vec<(usize, Vec<Value>, Value)>>,
     total_derivations: u64,
+    /// Which propagation discipline `drain` uses.
+    strategy: EvalStrategy,
+    /// Per-(rule, delta position) join plans (batch strategy only).
+    /// Shared so a firing can hold its plan across nested fixpoints without
+    /// cloning it per delta tuple.
+    pub(crate) plans: std::sync::Arc<Vec<RulePlan>>,
+    /// Keyed join-column indexes, kept in sync with the store (batch only).
+    pub(crate) indexes: IndexRegistry,
+    /// Per-table trigger lists grouped by pushed-down constant (batch
+    /// only): a delta visits only the group matching its own value plus
+    /// the residual triggers, instead of every rule the table appears in.
+    pub(crate) batch_dispatch: HashMap<String, std::sync::Arc<batch::TriggerDispatch>>,
+    /// Stable/recent/delta partitions per relation (batch only).
+    pub(crate) deltas: DeltaTracker,
 }
 
 impl Engine {
@@ -215,6 +319,7 @@ impl Engine {
         };
         let mut rules = Vec::new();
         let mut triggers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        // (wrapped into Arcs once fully built, below)
         let mut store = Store::new();
         for s in program.catalog.iter() {
             store.declare(s.clone());
@@ -299,9 +404,21 @@ impl Engine {
             });
         }
         let funcs = CountingFuncs::starting_at(opts.unique_seed);
+        let strategy = opts.strategy;
+        let (plans, indexes, batch_dispatch) = if strategy == EvalStrategy::Batch {
+            let mut registry = IndexRegistry::default();
+            let plans = batch::build_plans(&rules, &mut registry);
+            let dispatch = batch::build_dispatch(&triggers, &plans);
+            (plans, registry, dispatch)
+        } else {
+            (Vec::new(), IndexRegistry::default(), HashMap::new())
+        };
         Ok(Engine {
             rules,
-            triggers,
+            triggers: triggers
+                .into_iter()
+                .map(|(t, l)| (t, std::sync::Arc::new(l)))
+                .collect(),
             store,
             log: ExecLog::default(),
             opts,
@@ -313,12 +430,34 @@ impl Engine {
             agg_groups: HashMap::new(),
             agg_contrib: HashMap::new(),
             total_derivations: 0,
+            strategy,
+            plans: std::sync::Arc::new(plans),
+            indexes,
+            batch_dispatch,
+            deltas: DeltaTracker::default(),
         })
     }
 
     /// Current logical time.
     pub fn now(&self) -> Time {
         self.time
+    }
+
+    /// The evaluation strategy this engine was built with.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
+    /// Per-relation stable/recent partition sizes. Always empty under
+    /// [`EvalStrategy::Pipelined`], which keeps no partitions.
+    pub fn delta_stats(&self) -> Vec<RelationDeltaStats> {
+        self.deltas.stats()
+    }
+
+    /// Total (index, tuple) entries across the keyed join indexes. Zero
+    /// under [`EvalStrategy::Pipelined`], which registers no indexes.
+    pub fn index_entries(&self) -> usize {
+        self.indexes.entry_count()
     }
 
     /// The execution log.
@@ -470,7 +609,8 @@ impl Engine {
                 tid
             })
         };
-        // If a fresh tid was minted inside the store, register its record.
+        // If a fresh tid was minted inside the store, register its record
+        // (and index the new instance under the batch strategy).
         if let Some(tid) = fresh {
             debug_assert_eq!(tid as usize, self.log.tuples.len());
             self.log.tuples.push(TupleRecord {
@@ -480,6 +620,9 @@ impl Engine {
                 disappear: None,
                 kind,
             });
+            if self.strategy == EvalStrategy::Batch {
+                self.indexes.insert(tid, tuple);
+            }
         }
         match outcome {
             AddOutcome::New(tid) => {
@@ -570,6 +713,10 @@ impl Engine {
 
     /// Kill a tuple instance that lost all support: cascade retractions.
     fn kill(&mut self, tid: TupleId, tuple: Tuple, result: &mut StepResult) -> Result<(), RuntimeError> {
+        if self.strategy == EvalStrategy::Batch {
+            self.indexes.remove(tid, &tuple);
+            self.deltas.retire(&tuple.table, tid);
+        }
         self.close_record(tid);
         self.log_event(ExecEvent::Disappear { time: self.time, tid });
         result.disappeared.push(tuple.clone());
@@ -640,8 +787,21 @@ impl Engine {
         self.kill(tid, tuple, result)
     }
 
-    /// Propagate appearances until fixpoint.
-    fn drain(
+    /// Propagate appearances until fixpoint, under the engine's strategy.
+    pub(crate) fn drain(
+        &mut self,
+        queue: VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        match self.strategy {
+            EvalStrategy::Pipelined => self.drain_pipelined(queue, result),
+            EvalStrategy::Batch => self.drain_batch(queue, result),
+        }
+    }
+
+    /// Pipelined propagation: pop one delta at a time and join it against
+    /// full scans of the materialized state.
+    fn drain_pipelined(
         &mut self,
         mut queue: VecDeque<(TupleId, Tuple)>,
         result: &mut StepResult,
@@ -654,10 +814,10 @@ impl Engine {
                 continue;
             }
             let trigger_list = match self.triggers.get(&tuple.table) {
-                Some(l) => l.clone(),
+                Some(l) => std::sync::Arc::clone(l),
                 None => continue,
             };
-            for (rule_idx, atom_idx) in trigger_list {
+            for &(rule_idx, atom_idx) in trigger_list.iter() {
                 if self.rules[rule_idx].agg.is_some() {
                     self.agg_add(rule_idx, tid, &tuple, &mut queue, result)?;
                 } else {
@@ -741,27 +901,34 @@ impl Engine {
 
     /// Evaluate every not-yet-done selection whose variables are all bound.
     /// Returns false if any evaluates to false (or errors).
-    fn eval_ready_sels(&mut self, rule_idx: usize, env: &Env, done: &mut [bool]) -> bool {
+    pub(crate) fn eval_ready_sels(&mut self, rule_idx: usize, env: &Env, done: &mut [bool]) -> bool {
+        // The func host is taken out for the duration so the selections can
+        // be evaluated in place (no per-candidate AST clone); nothing in
+        // `Selection::eval` can reach back into the engine.
+        let mut funcs = std::mem::take(&mut self.funcs);
+        let mut ok = true;
         for i in 0..done.len() {
             if done[i] {
                 continue;
             }
-            let ready = self.rules[rule_idx].sel_vars[i]
-                .iter()
-                .all(|v| env.contains_key(v));
+            let cr = &self.rules[rule_idx];
+            let ready = cr.sel_vars[i].iter().all(|v| env.contains_key(v));
             if ready {
-                let sel = self.rules[rule_idx].rule.sels[i].clone();
-                match sel.eval(env, &mut self.funcs) {
+                match cr.rule.sels[i].eval(env, &mut funcs) {
                     Ok(true) => done[i] = true,
-                    _ => return false,
+                    _ => {
+                        ok = false;
+                        break;
+                    }
                 }
             }
         }
-        true
+        self.funcs = funcs;
+        ok
     }
 
     /// Assignments, remaining selections, head construction, derivation.
-    fn finish_firing(
+    pub(crate) fn finish_firing(
         &mut self,
         rule_idx: usize,
         mut env: Env,
@@ -842,7 +1009,7 @@ impl Engine {
     // ------------------------------------------------------------------
     // aggregates
 
-    fn agg_add(
+    pub(crate) fn agg_add(
         &mut self,
         rule_idx: usize,
         delta_tid: TupleId,
@@ -961,19 +1128,33 @@ impl Engine {
 
 /// Unify an atom against a concrete tuple, extending `env`. Returns the
 /// extended environment on success.
+///
+/// Unification runs in two passes: validation first (borrowing only), then
+/// — only for a successful match — one environment clone plus the fresh
+/// bindings. Failing candidates, the common case in a join loop, allocate
+/// nothing.
 pub fn match_atom(atom: &Atom, tuple: &Tuple, env: &Env) -> Option<Env> {
     if atom.table != tuple.table || atom.args.len() != tuple.args.len() {
         return None;
     }
-    let mut out = env.clone();
-    unify_term(&atom.loc, &tuple.loc, &mut out)?;
+    let mut fresh: Vec<(&str, &Value)> = Vec::new();
+    unify_term(&atom.loc, &tuple.loc, env, &mut fresh)?;
     for (t, v) in atom.args.iter().zip(tuple.args.iter()) {
-        unify_term(t, v, &mut out)?;
+        unify_term(t, v, env, &mut fresh)?;
+    }
+    let mut out = env.clone();
+    for (name, value) in fresh {
+        out.insert(name.to_string(), value.clone());
     }
     Some(out)
 }
 
-fn unify_term(term: &Term, value: &Value, env: &mut Env) -> Option<()> {
+fn unify_term<'a>(
+    term: &'a Term,
+    value: &'a Value,
+    env: &Env,
+    fresh: &mut Vec<(&'a str, &'a Value)>,
+) -> Option<()> {
     match term {
         Term::Const(c) => {
             if c == value {
@@ -982,14 +1163,18 @@ fn unify_term(term: &Term, value: &Value, env: &mut Env) -> Option<()> {
                 None
             }
         }
-        Term::Var(v) => match env.get(v) {
-            Some(bound) if bound == value => Some(()),
-            Some(_) => None,
-            None => {
-                env.insert(v.clone(), value.clone());
-                Some(())
+        Term::Var(v) => {
+            if let Some(bound) = env.get(v) {
+                return if bound == value { Some(()) } else { None };
             }
-        },
+            // A variable can repeat within one atom; the repeat must agree
+            // with the binding this very match introduced.
+            if let Some(&(_, prev)) = fresh.iter().find(|(name, _)| *name == v) {
+                return if prev == value { Some(()) } else { None };
+            }
+            fresh.push((v, value));
+            Some(())
+        }
         Term::Agg(..) => None,
     }
 }
@@ -1004,7 +1189,7 @@ pub fn instantiate(atom: &Atom, env: &Env) -> Option<Tuple> {
     Some(Tuple { table: atom.table.clone(), loc, args })
 }
 
-fn resolve_term(term: &Term, env: &Env) -> Option<Value> {
+pub(crate) fn resolve_term(term: &Term, env: &Env) -> Option<Value> {
     match term {
         Term::Const(c) => Some(c.clone()),
         Term::Var(v) => env.get(v).cloned(),

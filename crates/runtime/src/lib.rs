@@ -1,8 +1,13 @@
 //! # mpr-runtime — the NDlog evaluation engine
 //!
-//! The runtime substrate of the reproduction: a deterministic, pipelined
-//! semi-naive datalog engine in the style of RapidNet (the paper's
-//! declarative SDN environment, §5.1), with:
+//! The runtime substrate of the reproduction: a deterministic semi-naive
+//! datalog engine in the style of RapidNet (the paper's declarative SDN
+//! environment, §5.1). Two evaluation strategies share one semantic core
+//! (see [`engine::EvalStrategy`]): *batch* semi-naive iteration — whole
+//! rounds of deltas joined through keyed hash indexes ([`index`]) with
+//! stable/recent/delta partitions per relation ([`delta`]) — and the
+//! original per-tuple *pipelined* propagation, kept as the differential
+//! baseline. Shared machinery:
 //!
 //! - per-node tuple stores with primary-key replacement ([`store`]);
 //! - support counting and cascading retraction (UNDERIVE/DISAPPEAR);
@@ -19,11 +24,16 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod batch;
+pub mod delta;
 pub mod engine;
+pub mod index;
 pub mod log;
 pub mod naive;
 pub mod store;
 
-pub use engine::{CompileError, Engine, Options, RuntimeError, StepResult};
+pub use delta::{DeltaTracker, RelationDeltaStats};
+pub use engine::{CompileError, Engine, EvalStrategy, Options, RuntimeError, StepResult};
+pub use index::{Col, IndexRegistry, IndexSpec};
 pub use log::{ExecEvent, ExecLog, Time, TupleId, TupleKind, TupleRecord};
 pub use store::{AddOutcome, DropOutcome, LiveTuple, Store};

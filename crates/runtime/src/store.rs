@@ -64,8 +64,20 @@ pub enum DropOutcome {
 
 #[derive(Debug, Default)]
 struct TableStore {
-    /// (node, key columns) → live tuple.
-    by_key: HashMap<(Value, Vec<Value>), LiveTuple>,
+    /// node → key columns → live tuple. Nesting by node keeps the common
+    /// location-bound scan of the pipelined join O(node bucket) instead of
+    /// O(table); empty node buckets are removed eagerly.
+    by_node: HashMap<Value, HashMap<Vec<Value>, LiveTuple>>,
+}
+
+impl TableStore {
+    fn len(&self) -> usize {
+        self.by_node.values().map(HashMap::len).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.by_node.values().all(HashMap::is_empty)
+    }
 }
 
 /// The multi-node tuple store.
@@ -95,9 +107,9 @@ impl Store {
             .unwrap_or_else(|| Schema::state(table, arity))
     }
 
-    fn key_of(&self, tuple: &Tuple) -> (Value, Vec<Value>) {
+    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
         let schema = self.schema_for(&tuple.table, tuple.args.len());
-        (tuple.loc.clone(), tuple.key(&schema.effective_keys()))
+        tuple.key(&schema.effective_keys())
     }
 
     /// Add one unit of support for `tuple`. `base` distinguishes base
@@ -111,7 +123,8 @@ impl Store {
     ) -> AddOutcome {
         let key = self.key_of(tuple);
         let ts = self.tables.entry(tuple.table.clone()).or_default();
-        if let Some(live) = ts.by_key.get_mut(&key) {
+        let bucket = ts.by_node.entry(tuple.loc.clone()).or_default();
+        if let Some(live) = bucket.get_mut(&key) {
             if &live.tuple == tuple {
                 if base {
                     live.base_count += 1;
@@ -132,7 +145,7 @@ impl Store {
             return AddOutcome::Replaced { old, new: tid };
         }
         let tid = next_tid();
-        ts.by_key.insert(
+        bucket.insert(
             key,
             LiveTuple {
                 tid,
@@ -150,7 +163,10 @@ impl Store {
         let Some(ts) = self.tables.get_mut(&tuple.table) else {
             return DropOutcome::Absent;
         };
-        let Some(live) = ts.by_key.get_mut(&key) else {
+        let Some(bucket) = ts.by_node.get_mut(&tuple.loc) else {
+            return DropOutcome::Absent;
+        };
+        let Some(live) = bucket.get_mut(&key) else {
             return DropOutcome::Absent;
         };
         if &live.tuple != tuple {
@@ -169,7 +185,10 @@ impl Store {
         }
         if live.support() == 0 {
             let tid = live.tid;
-            ts.by_key.remove(&key);
+            bucket.remove(&key);
+            if bucket.is_empty() {
+                ts.by_node.remove(&tuple.loc);
+            }
             DropOutcome::Gone(tid)
         } else {
             DropOutcome::StillAlive
@@ -181,10 +200,14 @@ impl Store {
     pub fn evict(&mut self, tuple: &Tuple) -> Option<TupleId> {
         let key = self.key_of(tuple);
         let ts = self.tables.get_mut(&tuple.table)?;
-        match ts.by_key.get(&key) {
+        let bucket = ts.by_node.get_mut(&tuple.loc)?;
+        match bucket.get(&key) {
             Some(live) if &live.tuple == tuple => {
                 let tid = live.tid;
-                ts.by_key.remove(&key);
+                bucket.remove(&key);
+                if bucket.is_empty() {
+                    ts.by_node.remove(&tuple.loc);
+                }
                 Some(tid)
             }
             _ => None,
@@ -196,7 +219,8 @@ impl Store {
         let key = self.key_of(tuple);
         self.tables
             .get(&tuple.table)?
-            .by_key
+            .by_node
+            .get(&tuple.loc)?
             .get(&key)
             .filter(|l| &l.tuple == tuple)
     }
@@ -215,11 +239,11 @@ impl Store {
         match self.tables.get(table) {
             None => Box::new(std::iter::empty()),
             Some(ts) => match node {
-                None => Box::new(ts.by_key.values()),
-                Some(n) => {
-                    let n = n.clone();
-                    Box::new(ts.by_key.iter().filter(move |((loc, _), _)| loc == &n).map(|(_, v)| v))
-                }
+                None => Box::new(ts.by_node.values().flat_map(HashMap::values)),
+                Some(n) => match ts.by_node.get(n) {
+                    None => Box::new(std::iter::empty()),
+                    Some(bucket) => Box::new(bucket.values()),
+                },
             },
         }
     }
@@ -233,7 +257,7 @@ impl Store {
 
     /// Total number of live tuples across all tables.
     pub fn len(&self) -> usize {
-        self.tables.values().map(|t| t.by_key.len()).sum()
+        self.tables.values().map(TableStore::len).sum()
     }
 
     /// `true` when the store holds no tuples.
@@ -246,7 +270,7 @@ impl Store {
         let mut v: Vec<String> = self
             .tables
             .iter()
-            .filter(|(_, t)| !t.by_key.is_empty())
+            .filter(|(_, t)| !t.is_empty())
             .map(|(n, _)| n.clone())
             .collect();
         v.sort();

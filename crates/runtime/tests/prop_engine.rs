@@ -1,13 +1,17 @@
-//! Differential property test: the pipelined semi-naive engine computes the
-//! same fixpoint as the naive oracle on random stratified programs over
-//! state tables.
+//! Differential property test: both evaluation strategies (pipelined and
+//! batch semi-naive) compute the same fixpoint as the naive oracle on
+//! random stratified programs over state tables.
 
 use mpr_ndlog::ast::*;
 use mpr_ndlog::{Program, Tuple, Value};
 use mpr_runtime::naive::naive_fixpoint;
-use mpr_runtime::Engine;
+use mpr_runtime::{Engine, EvalStrategy, Options};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+fn engine_with(p: &Program, strategy: EvalStrategy) -> Engine {
+    Engine::with_options(p, Options { strategy, ..Options::default() }).unwrap()
+}
 
 /// Tables T0..T3 (base) and D0..D3 (derived); all payload arity 2.
 fn base_tuple() -> impl Strategy<Value = Tuple> {
@@ -105,22 +109,24 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn pipelined_matches_naive(p in program(), base in prop::collection::vec(base_tuple(), 0..12)) {
+    fn both_strategies_match_naive(p in program(), base in prop::collection::vec(base_tuple(), 0..12)) {
         // Rules must bind their head variables; rule() guarantees A and B
         // appear in the first body atom, so validation always passes — but
         // keep the guard in case the generator drifts.
         prop_assume!(p.validate().is_ok());
         let expected = naive_fixpoint(&p, &base, 64);
 
-        let mut engine = Engine::new(&p).unwrap();
-        for t in &base {
-            engine.insert(t.clone()).unwrap();
+        for strategy in [EvalStrategy::Pipelined, EvalStrategy::Batch] {
+            let mut engine = engine_with(&p, strategy);
+            for t in &base {
+                engine.insert(t.clone()).unwrap();
+            }
+            let mut actual: BTreeSet<Tuple> = BTreeSet::new();
+            for table in ["T0", "T1", "T2", "T3", "D0", "D1", "D2", "D3"] {
+                actual.extend(engine.tuples(table));
+            }
+            prop_assert_eq!(actual, expected.clone(), "strategy = {}", strategy);
         }
-        let mut actual: BTreeSet<Tuple> = BTreeSet::new();
-        for table in ["T0", "T1", "T2", "T3", "D0", "D1", "D2", "D3"] {
-            actual.extend(engine.tuples(table));
-        }
-        prop_assert_eq!(actual, expected);
     }
 
     #[test]
@@ -128,24 +134,26 @@ proptest! {
         prop_assume!(p.validate().is_ok());
         prop_assume!(!base.contains(&extra));
 
-        // State A: insert the base set.
-        let mut e1 = Engine::new(&p).unwrap();
-        for t in &base {
-            e1.insert(t.clone()).unwrap();
-        }
-        let snapshot = |e: &Engine| {
-            let mut s: BTreeSet<Tuple> = BTreeSet::new();
-            for table in ["T0", "T1", "T2", "T3", "D0", "D1", "D2", "D3"] {
-                s.extend(e.tuples(table));
+        for strategy in [EvalStrategy::Pipelined, EvalStrategy::Batch] {
+            // State A: insert the base set.
+            let mut e1 = engine_with(&p, strategy);
+            for t in &base {
+                e1.insert(t.clone()).unwrap();
             }
-            s
-        };
-        let before = snapshot(&e1);
+            let snapshot = |e: &Engine| {
+                let mut s: BTreeSet<Tuple> = BTreeSet::new();
+                for table in ["T0", "T1", "T2", "T3", "D0", "D1", "D2", "D3"] {
+                    s.extend(e.tuples(table));
+                }
+                s
+            };
+            let before = snapshot(&e1);
 
-        // Insert `extra`, then delete it: the visible state must return to
-        // `before` (support counting, no over-retraction).
-        e1.insert(extra.clone()).unwrap();
-        e1.delete(&extra).unwrap();
-        prop_assert_eq!(snapshot(&e1), before);
+            // Insert `extra`, then delete it: the visible state must return
+            // to `before` (support counting, no over-retraction).
+            e1.insert(extra.clone()).unwrap();
+            e1.delete(&extra).unwrap();
+            prop_assert_eq!(snapshot(&e1), before, "strategy = {}", strategy);
+        }
     }
 }

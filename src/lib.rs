@@ -15,6 +15,12 @@
 //! - [`langs`] — mini-Trema and mini-Pyretic frontends and their meta models.
 //! - [`core`] — meta provenance, cost-ordered repair search, the debugger.
 //!
+//! [`EvalStrategy`] (re-exported from the runtime) selects between the
+//! batch semi-naive engine (the default) and the per-tuple pipelined
+//! baseline, either per-engine via `runtime::Options` or process-wide via
+//! [`EvalStrategy::set_global_default`] / the `MPR_EVAL_STRATEGY`
+//! environment variable.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -33,6 +39,7 @@
 //! ```
 
 pub use mpr_backtest as backtest;
+pub use mpr_runtime::EvalStrategy;
 pub use mpr_core as core;
 pub use mpr_langs as langs;
 pub use mpr_ndlog as ndlog;

@@ -1,0 +1,364 @@
+//! Differential test harness for the two evaluation strategies.
+//!
+//! Over random NDlog programs and fact sets (well over 100 generated
+//! programs per run), the per-tuple pipelined engine and the batch
+//! semi-naive engine must reach identical fixpoints — which must also match
+//! the naive whole-program oracle — and must record provenance-equivalent
+//! executions: the same *net* derivation set keyed by tuple values
+//! (`provenance::derivation_set`). Instance ids and support-count
+//! multiplicities may differ between strategies; net derivations, live
+//! state, and retraction cascades may not.
+//!
+//! Scripted scenarios cover the fragments the random generator avoids:
+//! primary-key replacement, transient events, aggregates, and recursion.
+
+use proptest::prelude::*;
+use sdn_meta_repair::ndlog::ast::{Assign, Atom, BinOp, CmpOp, Expr, Rule, Selection, Term};
+use sdn_meta_repair::ndlog::{parse_program, Program, Tuple, Value};
+use sdn_meta_repair::provenance::derivation_set;
+use sdn_meta_repair::runtime::naive::naive_fixpoint;
+use sdn_meta_repair::runtime::{Engine, Options};
+use sdn_meta_repair::EvalStrategy;
+use std::collections::BTreeSet;
+
+const TABLES: [&str; 8] = ["T0", "T1", "T2", "T3", "D0", "D1", "D2", "D3"];
+
+type DerivationSet = BTreeSet<(String, Tuple, Vec<Tuple>)>;
+
+fn engine(p: &Program, strategy: EvalStrategy) -> Engine {
+    Engine::with_options(p, Options { strategy, ..Options::default() }).unwrap()
+}
+
+fn snapshot(e: &Engine) -> BTreeSet<Tuple> {
+    TABLES.iter().flat_map(|t| e.tuples(t)).collect()
+}
+
+/// Run one strategy over the same script: insert every base fact (fixpoint
+/// after each), then delete the listed facts. Returns the final live state
+/// and the net derivation set of the whole execution.
+fn run(
+    p: &Program,
+    base: &[Tuple],
+    deletes: &[Tuple],
+    strategy: EvalStrategy,
+) -> (BTreeSet<Tuple>, DerivationSet) {
+    let mut e = engine(p, strategy);
+    for t in base {
+        e.insert(t.clone()).unwrap();
+    }
+    for t in deletes {
+        e.delete(t).unwrap();
+    }
+    (snapshot(&e), derivation_set(e.log()))
+}
+
+/// Assert both strategies agree with each other (state + derivations) and
+/// return the common state for oracle comparison.
+fn assert_strategies_agree(
+    p: &Program,
+    base: &[Tuple],
+    deletes: &[Tuple],
+) -> Result<BTreeSet<Tuple>, TestCaseError> {
+    let (state_p, derivs_p) = run(p, base, deletes, EvalStrategy::Pipelined);
+    let (state_b, derivs_b) = run(p, base, deletes, EvalStrategy::Batch);
+    prop_assert_eq!(&state_p, &state_b, "fixpoints diverge");
+    prop_assert_eq!(&derivs_p, &derivs_b, "net derivation sets diverge");
+    Ok(state_p)
+}
+
+// ---------------------------------------------------------------------
+// Random stratified programs (set-semantics state tables, no aggregates —
+// the fragment where the naive oracle is also meaningful).
+
+/// Base facts over T0..T3, arity 2, on one of two nodes.
+fn base_tuple() -> impl Strategy<Value = Tuple> {
+    (0u8..4, 0u8..2, 0i64..4, -3i64..6).prop_map(|(t, node, a, b)| {
+        let loc = if node == 0 { Value::str("C") } else { Value::str("S") };
+        Tuple::new(format!("T{t}"), loc, vec![Value::Int(a), Value::Int(b)])
+    })
+}
+
+fn term(vars: &'static [&'static str]) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => prop::sample::select(vars.to_vec()).prop_map(|v| Term::Var(v.to_string())),
+        1 => (-2i64..4).prop_map(|i| Term::Const(Value::Int(i))),
+    ]
+}
+
+fn sel(vars: &'static [&'static str]) -> impl Strategy<Value = Selection> {
+    (
+        prop::sample::select(vars.to_vec()),
+        prop::sample::select(CmpOp::ALL.to_vec()),
+        prop_oneof![
+            prop::sample::select(vars.to_vec()).prop_map(|v| Expr::Var(v.to_string())),
+            (-2i64..5).prop_map(Expr::int),
+        ],
+    )
+        .prop_map(|(l, op, r)| Selection::new(Expr::var(l), op, r))
+}
+
+prop_compose! {
+    /// A stratified rule with 1–3 body atoms: the first atom always binds
+    /// `A` and `B` (so heads and selections are safe), later atoms draw
+    /// their terms freely from the pool — constants, repeats of `A`/`B`
+    /// (join columns), or fresh `X`/`Y`. Half the rules append an
+    /// arithmetic assignment; some heads install remotely (constant node).
+    fn rule(idx: usize)(
+        head_t in 0u8..4,
+        body_ts in prop::collection::vec(0u8..4, 1..4),
+        args in prop::collection::vec(term(&["A", "B", "X", "Y"]), 4),
+        sels in prop::collection::vec(sel(&["A", "B"]), 0..3),
+        assign_c in -2i64..4,
+        with_assign in prop::sample::select(vec![false, true]),
+        remote in 0u8..4,
+    ) -> Rule {
+        let body: Vec<Atom> = body_ts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let (a, b) = if i == 0 {
+                    (Term::Var("A".into()), Term::Var("B".into()))
+                } else {
+                    (args[2 * (i - 1)].clone(), args[2 * (i - 1) + 1].clone())
+                };
+                Atom::new(format!("T{t}"), Term::Var("C".into()), vec![a, b])
+            })
+            .collect();
+        let assigns = if with_assign {
+            vec![Assign::new(
+                "W",
+                Expr::Binary(BinOp::Add, Box::new(Expr::var("A")), Box::new(Expr::int(assign_c))),
+            )]
+        } else {
+            vec![]
+        };
+        let head_loc =
+            if remote == 0 { Term::Const(Value::str("S")) } else { Term::Var("C".into()) };
+        let second = if with_assign { Term::Var("W".into()) } else { Term::Var("B".into()) };
+        Rule::new(
+            format!("r{idx}"),
+            Atom::new(format!("D{head_t}"), head_loc, vec![Term::Var("A".into()), second]),
+            body,
+            sels,
+            assigns,
+        )
+    }
+}
+
+prop_compose! {
+    fn program()(n in 1usize..5)(
+        built in (0..n).map(rule).collect::<Vec<_>>()
+    ) -> Program {
+        let mut p = Program::new("diff");
+        p.rules.extend(built);
+        p
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Insert-only: both strategies agree with each other and with the
+    /// naive oracle on every random program.
+    #[test]
+    fn insertions_agree_across_strategies_and_oracle(
+        p in program(),
+        base in prop::collection::vec(base_tuple(), 0..12),
+    ) {
+        prop_assume!(p.validate().is_ok());
+        let state = assert_strategies_agree(&p, &base, &[])?;
+        let expected = naive_fixpoint(&p, &base, 64);
+        prop_assert_eq!(state, expected, "engines diverge from the naive oracle");
+    }
+
+    /// Deletion cascades: delete a prefix of the inserted facts; both
+    /// strategies must agree, and the survivors must equal the oracle's
+    /// fixpoint over the remaining base facts.
+    #[test]
+    fn deletion_cascades_agree_across_strategies(
+        p in program(),
+        base in prop::collection::vec(base_tuple(), 1..10),
+        n_del in 0usize..10,
+    ) {
+        prop_assume!(p.validate().is_ok());
+        let deletes: Vec<Tuple> = base.iter().take(n_del).cloned().collect();
+        let state = assert_strategies_agree(&p, &base, &deletes)?;
+        // Remaining base support: each delete removes one unit; duplicates
+        // in `base` keep the fact alive.
+        let mut remaining = base.clone();
+        for d in &deletes {
+            if let Some(pos) = remaining.iter().position(|t| t == d) {
+                remaining.remove(pos);
+            }
+        }
+        let expected = naive_fixpoint(&p, &remaining, 64);
+        prop_assert_eq!(state, expected, "cascade left the wrong survivors");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recursion: rounds deeper than one are where batch semi-naive differs
+// most from per-tuple pipelining.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recursive_reachability_agrees(
+        edges in prop::collection::vec((0i64..7, 0i64..7), 0..14),
+        n_del in 0usize..6,
+    ) {
+        let p = parse_program(
+            "tc",
+            r"
+            materialize(Link, infinity, 2, keys(0,1)).
+            materialize(Reach, infinity, 2, keys(0,1)).
+            r1 Reach(@C,X,Y) :- Link(@C,X,Y), X != Y.
+            r2 Reach(@C,X,Z) :- Reach(@C,X,Y), Link(@C,Y,Z), X != Z.
+            ",
+        )
+        .unwrap();
+        let c = Value::str("C");
+        let base: Vec<Tuple> = edges
+            .iter()
+            .map(|&(a, b)| Tuple::new("Link", c.clone(), vec![Value::Int(a), Value::Int(b)]))
+            .collect();
+        let deletes: Vec<Tuple> = base.iter().take(n_del).cloned().collect();
+
+        let (state_p, derivs_p) = run(&p, &base, &deletes, EvalStrategy::Pipelined);
+        let (state_b, derivs_b) = run(&p, &base, &deletes, EvalStrategy::Batch);
+        prop_assert_eq!(&state_p, &state_b, "reachability fixpoints diverge");
+        prop_assert_eq!(&derivs_p, &derivs_b, "reachability derivations diverge");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scripted scenarios for the fragments the generator avoids. Each runs the
+// identical script under both strategies and compares everything.
+
+fn dual_run(src: &str, script: impl Fn(&mut Engine)) {
+    let p = parse_program("scripted", src).unwrap();
+    let mut e_pipe = engine(&p, EvalStrategy::Pipelined);
+    let mut e_batch = engine(&p, EvalStrategy::Batch);
+    script(&mut e_pipe);
+    script(&mut e_batch);
+    let tables: BTreeSet<String> = e_pipe
+        .log()
+        .tuples
+        .iter()
+        .chain(e_batch.log().tuples.iter())
+        .map(|r| r.tuple.table.clone())
+        .collect();
+    for t in &tables {
+        assert_eq!(e_pipe.tuples(t), e_batch.tuples(t), "table {t} diverges");
+    }
+    assert_eq!(
+        derivation_set(e_pipe.log()),
+        derivation_set(e_batch.log()),
+        "net derivation sets diverge"
+    );
+}
+
+#[test]
+fn keyed_replacement_agrees() {
+    // Fig. 2's shape: two rules race to install FlowTable entries under the
+    // same primary key; last write wins, and the evicted entry's cascade
+    // must agree between strategies.
+    let src = r"
+        materialize(PacketIn, event, 2, keys()).
+        materialize(FlowTable, infinity, 2, keys(0)).
+        materialize(Mirror, infinity, 2, keys(0,1)).
+        r5 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 1.
+        r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, Hdr == 80, Prt := 2.
+        m1 Mirror(@Swi,Hdr,Prt) :- FlowTable(@Swi,Hdr,Prt).
+    ";
+    dual_run(src, |e| {
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![Value::Int(2), Value::Int(80)]))
+            .unwrap();
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![Value::Int(2), Value::Int(80)]))
+            .unwrap();
+    });
+}
+
+#[test]
+fn transient_events_agree() {
+    // Events trigger persistent derivations but are never stored; their
+    // derivations must not retract when the event passes.
+    let src = r"
+        materialize(PacketIn, event, 2, keys()).
+        materialize(WebLoadBalancer, infinity, 2, keys(0)).
+        materialize(FlowTable, infinity, 2, keys(0)).
+        r1 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), WebLoadBalancer(@C,Hdr,Prt), Swi == 1.
+    ";
+    dual_run(src, |e| {
+        e.insert(Tuple::new(
+            "WebLoadBalancer",
+            Value::str("C"),
+            vec![Value::Int(80), Value::Int(7)],
+        ))
+        .unwrap();
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![Value::Int(1), Value::Int(80)]))
+            .unwrap();
+        e.insert(Tuple::new("PacketIn", Value::str("C"), vec![Value::Int(9), Value::Int(80)]))
+            .unwrap();
+        e.delete(&Tuple::new(
+            "WebLoadBalancer",
+            Value::str("C"),
+            vec![Value::Int(80), Value::Int(7)],
+        ))
+        .unwrap();
+    });
+}
+
+#[test]
+fn aggregates_agree() {
+    // Incremental a_count with churn: inserts, a retraction that shrinks
+    // the group, and one that empties it (evicting the emitted tuple).
+    let src = r"
+        materialize(PredFunc, infinity, 2, keys(0,1)).
+        materialize(PredFuncCount, infinity, 2, keys(0)).
+        materialize(Big, infinity, 2, keys(0)).
+        p2 PredFuncCount(@C,Rul,a_count<Tab>) :- PredFunc(@C,Rul,Tab).
+        p3 Big(@C,Rul,N) :- PredFuncCount(@C,Rul,N), N > 1.
+    ";
+    let c = || Value::str("C");
+    let pf = |r: &str, t: &str| Tuple::new("PredFunc", c(), vec![Value::str(r), Value::str(t)]);
+    dual_run(src, move |e| {
+        e.insert(pf("r1", "T1")).unwrap();
+        e.insert(pf("r1", "T2")).unwrap();
+        e.insert(pf("r2", "T1")).unwrap();
+        e.delete(&pf("r1", "T2")).unwrap();
+        e.delete(&pf("r2", "T1")).unwrap();
+        e.insert(pf("r3", "T9")).unwrap();
+    });
+}
+
+#[test]
+fn multiway_join_ordering_agrees() {
+    // Three-way join where every table receives deltas in every order; the
+    // positional discipline must not miss (or lose) combinations.
+    let src = r"
+        materialize(A, infinity, 2, keys(0,1)).
+        materialize(B, infinity, 2, keys(0,1)).
+        materialize(E, infinity, 2, keys(0,1)).
+        materialize(Out, infinity, 3, keys(0,1,2)).
+        j1 Out(@N,X,Y,Z) :- A(@N,X,Y), B(@N,Y,Z), E(@N,Z,X).
+    ";
+    let n = || Value::Int(1);
+    let t2 = |tab: &str, a: i64, b: i64| {
+        Tuple::new(tab, n(), vec![Value::Int(a), Value::Int(b)])
+    };
+    dual_run(src, move |e| {
+        // Cycle 1→2→3→1 completed in three different insertion orders.
+        e.insert(t2("A", 1, 2)).unwrap();
+        e.insert(t2("B", 2, 3)).unwrap();
+        e.insert(t2("E", 3, 1)).unwrap();
+        e.insert(t2("E", 6, 4)).unwrap();
+        e.insert(t2("B", 5, 6)).unwrap();
+        e.insert(t2("A", 4, 5)).unwrap();
+        e.insert(t2("B", 8, 9)).unwrap();
+        e.insert(t2("A", 7, 8)).unwrap();
+        e.insert(t2("E", 9, 7)).unwrap();
+        e.delete(&t2("B", 2, 3)).unwrap();
+    });
+}

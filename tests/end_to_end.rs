@@ -178,6 +178,38 @@ fn provenance_explains_scenario_symptoms() {
 }
 
 #[test]
+fn repair_loop_agrees_under_both_eval_strategies() {
+    // The whole diagnose → repair-search → backtest loop must be
+    // insensitive to the engine's evaluation strategy: same candidates,
+    // same acceptance set, same reference fix. The strategy is switched
+    // process-wide (every engine the debugger builds inherits it), so the
+    // two runs execute back-to-back, not interleaved.
+    use sdn_meta_repair::EvalStrategy;
+    let scenario = Scenario::q1_copy_paste();
+    let run = |strategy: EvalStrategy| {
+        EvalStrategy::set_global_default(strategy);
+        let report = repair_scenario(&scenario);
+        let descriptions: Vec<String> =
+            report.outcomes.iter().map(|o| o.candidate.description.clone()).collect();
+        let accepted: Vec<String> = report
+            .accepted
+            .iter()
+            .map(|&i| report.outcomes[i].candidate.description.clone())
+            .collect();
+        (descriptions, accepted)
+    };
+    let pipelined = run(EvalStrategy::Pipelined);
+    let batch = run(EvalStrategy::Batch);
+    EvalStrategy::set_global_default(EvalStrategy::Batch);
+    assert_eq!(pipelined.0, batch.0, "candidate generation diverges");
+    assert_eq!(pipelined.1, batch.1, "acceptance diverges");
+    assert!(
+        batch.1.iter().any(|d| d.contains(&scenario.reference_fix)),
+        "reference fix missing under batch evaluation"
+    );
+}
+
+#[test]
 fn fault_injection_degrades_gracefully() {
     // Lossy links must not break diagnosis: the debugger still returns a
     // report (possibly with fewer accepted candidates) and never panics.

@@ -8,11 +8,56 @@
 //! `min / mean / max` per-iteration times. There is no statistical outlier
 //! analysis or HTML report — numbers go to stdout.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier: prevents the optimizer from deleting benchmark work.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Per-benchmark summary collected for the optional JSON artifact.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    min_s: f64,
+    mean_s: f64,
+    max_s: f64,
+    samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record_result(r: BenchResult) {
+    if let Ok(mut v) = RESULTS.lock() {
+        v.push(r);
+    }
+}
+
+/// Write every result recorded so far to the file named by the
+/// `CRITERION_JSON` environment variable (a `{"series": [...]}` document).
+/// No-op when the variable is unset. Called by [`criterion_main!`] after all
+/// groups have run.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = match RESULTS.lock() {
+        Ok(v) => v.clone(),
+        Err(_) => return,
+    };
+    let mut out = String::from("{\n  \"series\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": {:?}, \"min_s\": {:e}, \"mean_s\": {:e}, \"max_s\": {:e}, \"samples\": {}}}{comma}\n",
+            r.id, r.min_s, r.mean_s, r.max_s, r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if std::fs::write(&path, out).is_ok() {
+        eprintln!("[criterion-json] {path}");
+    }
 }
 
 /// How [`Bencher::iter_batched`] amortizes setup cost. All variants behave
@@ -171,6 +216,13 @@ impl Bencher {
             format_time(mean),
             format_time(max)
         );
+        record_result(BenchResult {
+            id: id.to_string(),
+            min_s: min,
+            mean_s: mean,
+            max_s: max,
+            samples: self.samples.len(),
+        });
     }
 }
 
@@ -211,6 +263,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_results();
         }
     };
 }
