@@ -5,18 +5,26 @@
 //! global traffic distribution.
 //!
 //! - [`replay()`] — sequential backtesting: fresh network + controller per
-//!   candidate, replaying the recorded workload;
+//!   candidate, replaying the recorded workload; [`replay_candidates`]
+//!   fans independent candidates out over the [`pool`] worker threads;
 //! - [`ks`] — the two-sample Kolmogorov–Smirnov filter (α = 0.05, §5.3);
 //! - [`mqo`] — the §4.4 multi-query optimization: one tagged joint replay
 //!   for all candidates, with rule-copy coalescing. A property test pins
 //!   the correctness claim: per-tag results equal sequential results.
+//! - [`pool`] — the scoped worker pool behind both parallel paths
+//!   (`MPR_BACKTEST_WORKERS` overrides its size).
 
 #![warn(missing_docs)]
 
 pub mod ks;
 pub mod mqo;
+pub mod pool;
 pub mod replay;
 
 pub use ks::{ks_coefficient, ks_two_sample, KsResult};
 pub use mqo::{build_tagged_program, mqo_replay, mqo_supported, TagSet, TaggedProgram, TaggedVariant};
-pub use replay::{replay, replay_with_extra_flows, BacktestSetup, ReplayOutcome};
+pub use pool::par_map;
+pub use replay::{
+    replay, replay_candidates, replay_with_extra_flows, BacktestSetup, CandidateRun,
+    ReplayOutcome,
+};

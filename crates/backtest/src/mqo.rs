@@ -441,32 +441,40 @@ pub fn mqo_replay(
     let tagged = build_tagged_program(base, candidates);
     let mut engine = TaggedEngine::new(&tagged, &setup.codec, &setup.seeds, full);
 
-    // Per-candidate network state.
-    let mut tables: Vec<BTreeMap<i64, FlowTable>> = vec![BTreeMap::new(); n];
+    // Per-candidate network state. Each candidate's flow tables (switch
+    // set, proactive shortest-path routes, manual entries) are built
+    // independently, so the setup fans out across the pool workers; the
+    // per-candidate BFS route computation is the bulk of the cost on
+    // large topologies.
+    let candidate_ids: Vec<usize> = (0..n).collect();
+    let mut tables: Vec<BTreeMap<i64, FlowTable>> =
+        crate::pool::par_map(&candidate_ids, |_, &ti| {
+            let mut t: BTreeMap<i64, FlowTable> = BTreeMap::new();
+            for s in &setup.topology.switches {
+                t.insert(*s, FlowTable::new());
+            }
+            if setup.proactive_routes {
+                for h in setup.topology.hosts.iter().copied() {
+                    for (sw, port) in setup.topology.routes_to(h) {
+                        t.get_mut(&sw).unwrap().install(mpr_sdn::flowtable::FlowEntry::new(
+                            1,
+                            mpr_sdn::flowtable::Match::any()
+                                .with(mpr_sdn::packet::Field::DstIp, h),
+                            vec![Action::Output(port)],
+                        ));
+                    }
+                }
+            }
+            if let Some(extra) = extra_flows.get(ti) {
+                for (sw, e) in extra {
+                    if let Some(ft) = t.get_mut(sw) {
+                        ft.install(e.clone());
+                    }
+                }
+            }
+            t
+        });
     let mut stats: Vec<SimStats> = vec![SimStats::default(); n];
-    for (ti, t) in tables.iter_mut().enumerate() {
-        for s in &setup.topology.switches {
-            t.insert(*s, FlowTable::new());
-        }
-        if setup.proactive_routes {
-            for h in setup.topology.hosts.iter().copied().collect::<Vec<_>>() {
-                for (sw, port) in setup.topology.routes_to(h) {
-                    t.get_mut(&sw).unwrap().install(mpr_sdn::flowtable::FlowEntry::new(
-                        1,
-                        mpr_sdn::flowtable::Match::any().with(mpr_sdn::packet::Field::DstIp, h),
-                        vec![Action::Output(port)],
-                    ));
-                }
-            }
-        }
-        if let Some(extra) = extra_flows.get(ti) {
-            for (sw, e) in extra {
-                if let Some(ft) = t.get_mut(sw) {
-                    ft.install(e.clone());
-                }
-            }
-        }
-    }
 
     // Replay: forward per tag, share controller evaluation across tags.
     for (src, pkt) in &setup.workload {

@@ -1,0 +1,97 @@
+//! A minimal scoped worker pool for the backtester's embarrassingly
+//! parallel outer loops.
+//!
+//! Candidate replays are independent by construction — each builds a fresh
+//! controller and network from a [`crate::BacktestSetup`] — so the
+//! sequential-replay fallback and the MQO per-candidate state setup both
+//! fan out over [`par_map`]. Results come back index-aligned with the
+//! input, so callers see exactly the ordering a sequential loop produces;
+//! only wall-clock changes. Implemented directly on
+//! [`std::thread::scope`]: no work stealing, just a striped static
+//! partition, which is the right shape when every item costs about the
+//! same (replays of one workload) and keeps the dependency footprint at
+//! zero.
+
+/// Worker count for backtest fan-out: the `MPR_BACKTEST_WORKERS`
+/// environment variable when set (clamped to 1..=64), otherwise the
+/// machine's available parallelism. `1` disables threading entirely.
+pub fn workers() -> usize {
+    match std::env::var("MPR_BACKTEST_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => n.clamp(1, 64),
+        None => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+    }
+}
+
+/// Apply `f` to every item, possibly across [`workers()`] scoped threads,
+/// returning results in input order. `f` receives `(index, &item)`.
+///
+/// Runs inline (no threads spawned) when the pool has one worker or there
+/// is at most one item. Worker `w` takes items `w, w + k, w + 2k, …` — a
+/// striped partition, so runtimes even out when item cost drifts with
+/// index (e.g. candidates sorted by complexity). A panic in `f` propagates
+/// to the caller, as it would from the sequential loop.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let k = workers().min(items.len());
+    if k <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..k)
+            .map(|w| {
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(k)
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("backtest worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every index filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_aligned() {
+        let items: Vec<i64> = (0..37).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as i64, x);
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let none: Vec<u8> = vec![];
+        assert!(par_map(&none, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[41u8], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn matches_sequential_map_under_any_worker_count() {
+        let items: Vec<String> = (0..23).map(|i| format!("item{i}")).collect();
+        let seq: Vec<usize> = items.iter().map(String::len).collect();
+        let par = par_map(&items, |_, s| s.len());
+        assert_eq!(par, seq);
+    }
+}

@@ -72,6 +72,36 @@ pub fn replay_with_extra_flows(
     Ok(ReplayOutcome { delivered: sim.stats.delivered.clone(), stats: sim.stats })
 }
 
+/// One candidate's materialized replay inputs, for [`replay_candidates`].
+#[derive(Clone)]
+pub struct CandidateRun {
+    /// The patched program; `None` when the patch failed to compile (the
+    /// candidate's outcome slot stays `None`).
+    pub program: Option<Program>,
+    /// Controller seeds for this candidate (patches may perturb them).
+    pub seeds: Vec<Tuple>,
+    /// Pre-installed manual flow entries.
+    pub extra_flows: Vec<(i64, mpr_sdn::flowtable::FlowEntry)>,
+}
+
+/// Replay every candidate independently, fanning out across the
+/// [`crate::pool`] worker threads. Each run is hermetic (fresh controller
+/// and network per candidate), so the results are index-aligned and
+/// identical to a sequential loop over [`replay_with_extra_flows`] — this
+/// is the parallel form of the debugger's non-MQO backtest path. `None`
+/// marks candidates that failed to compile or whose replay errored.
+pub fn replay_candidates(
+    setup: &BacktestSetup,
+    candidates: &[CandidateRun],
+) -> Vec<Option<ReplayOutcome>> {
+    crate::pool::par_map(candidates, |_, c| {
+        let program = c.program.as_ref()?;
+        let mut s = setup.clone();
+        s.seeds = c.seeds.clone();
+        replay_with_extra_flows(&s, program, &c.extra_flows).ok()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,105 @@
+//! Shard sweep: end-to-end repair turnaround (the Fig. 10 workload) as a
+//! function of the evaluation strategy — pipelined and batch baselines,
+//! then `Shards(n)` for n = 1, 2, 4, 8 — plus a rounds-heavy transitive
+//! closure microbenchmark that isolates the fixpoint itself (the repair
+//! loop also spends time in backtests and patch generation, which dilute
+//! engine-level wins).
+//!
+//! Strategy is injected through `EvalStrategy::set_global_default`, which
+//! every engine built with default options (the repair pipeline, the
+//! backtester) picks up. Expected shape: `shards1` tracks `batch` (sharded
+//! rounds degrade to the sequential loop at one worker), and speedup over
+//! `batch` grows toward core count on rounds-heavy workloads; on a
+//! single-core host the sweep documents that the guardrails
+//! (`shard_min_round`) keep the overhead within noise.
+
+use mpr_bench::{header, quick_mode, reps, write_artifact};
+use mpr_core::debugger::repair_scenario;
+use mpr_core::scenarios::Scenario;
+use mpr_ndlog::{parse_program, Tuple, Value};
+use mpr_runtime::{Engine, EvalStrategy, Options};
+use std::time::Instant;
+
+fn strategies() -> Vec<EvalStrategy> {
+    let shards = if quick_mode() { vec![1, 2, 4] } else { vec![1, 2, 4, 8] };
+    let mut v = vec![EvalStrategy::Pipelined, EvalStrategy::Batch];
+    v.extend(shards.into_iter().map(EvalStrategy::Shards));
+    v
+}
+
+/// Fig. 10 workload (100-line program) under one strategy: fastest-of-reps
+/// total repair turnaround in milliseconds.
+fn repair_total_ms(lines: usize) -> f64 {
+    let scenario = Scenario::q1_padded(lines);
+    let mut best = repair_scenario(&scenario).timings.total();
+    for _ in 1..reps() {
+        let t = repair_scenario(&scenario).timings.total();
+        if t < best {
+            best = t;
+        }
+    }
+    best.as_secs_f64() * 1e3
+}
+
+/// Transitive closure over a chain-with-chords graph: deep semi-naive
+/// rounds with wide deltas — the shape sharding targets.
+fn closure_ms(strategy: EvalStrategy, nodes: i64) -> f64 {
+    let p = parse_program(
+        "tc",
+        r"
+        materialize(Link, infinity, 2, keys(0,1)).
+        materialize(Reach, infinity, 2, keys(0,1)).
+        r1 Reach(@C,X,Y) :- Link(@C,X,Y), X != Y.
+        r2 Reach(@C,X,Z) :- Reach(@C,X,Y), Link(@C,Y,Z), X != Z.
+        ",
+    )
+    .unwrap();
+    let c = Value::str("C");
+    let edges: Vec<Tuple> = (0..nodes - 1)
+        .map(|i| Tuple::new("Link", c.clone(), vec![Value::Int(i), Value::Int(i + 1)]))
+        .chain((0..nodes - 7).step_by(5).map(|i| {
+            Tuple::new("Link", c.clone(), vec![Value::Int(i + 7), Value::Int(i)])
+        }))
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps() {
+        let mut e = Engine::with_options(
+            &p,
+            Options { strategy, record_events: false, ..Options::default() },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        for edge in &edges {
+            e.insert(edge.clone()).unwrap();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    header("Shard sweep: evaluation strategy vs turnaround (milliseconds)");
+    let lines = 100;
+    let tc_nodes: i64 = if quick_mode() { 48 } else { 96 };
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "Strategy",
+        format!("fig10({lines})"),
+        format!("closure({tc_nodes})")
+    );
+    let mut series = Vec::new();
+    for strategy in strategies() {
+        EvalStrategy::set_global_default(strategy);
+        let fig10_ms = repair_total_ms(lines);
+        let tc_ms = closure_ms(strategy, tc_nodes);
+        println!("{:>10} {:>14.2} {:>14.2}", strategy.to_string(), fig10_ms, tc_ms);
+        series.push(serde_json::json!({
+            "strategy": strategy.to_string(),
+            "fig10_total_ms": fig10_ms,
+            "closure_ms": tc_ms,
+        }));
+    }
+    EvalStrategy::set_global_default(EvalStrategy::Batch);
+    write_artifact("shards", &serde_json::json!({ "lines": lines, "series": series }));
+    println!("\npaper shape: sharded rounds track batch at 1 worker and scale with cores");
+}

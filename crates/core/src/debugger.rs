@@ -12,7 +12,7 @@ use crate::repair::{Candidate, Repair};
 use crate::scenarios::{Scenario, Symptom};
 use mpr_backtest::ks::{ks_two_sample, KsResult};
 use mpr_backtest::mqo::{mqo_replay, mqo_supported, ExtraFlows};
-use mpr_backtest::replay::{replay_with_extra_flows, BacktestSetup, ReplayOutcome};
+use mpr_backtest::replay::{replay_candidates, BacktestSetup, CandidateRun, ReplayOutcome};
 use mpr_ndlog::{Program, Tuple};
 use mpr_runtime::{Options as EngineOptions, TupleKind};
 use mpr_sdn::controller::{NdlogController, TupleCodec};
@@ -324,17 +324,15 @@ impl Debugger {
                 }
             }
         }
-        // Sequential fallback.
-        candidates
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let program = programs[i].clone()?;
-                let mut s = setup.clone();
-                s.seeds = seed_sets[i].clone();
-                replay_with_extra_flows(&s, &program, &extra[i]).ok()
-            })
-            .collect()
+        // Independent-replay fallback, fanned out over the backtest pool
+        // (one hermetic simulator per candidate, results index-aligned).
+        let runs: Vec<CandidateRun> = programs
+            .into_iter()
+            .zip(seed_sets)
+            .zip(extra)
+            .map(|((program, seeds), extra_flows)| CandidateRun { program, seeds, extra_flows })
+            .collect();
+        replay_candidates(setup, &runs)
     }
 }
 

@@ -96,6 +96,57 @@ pub(crate) struct TriggerDispatch {
     pub(crate) rest: Vec<(usize, usize)>,
 }
 
+impl TriggerDispatch {
+    /// The triggers `tuple` visits, in the exact order the plain trigger
+    /// list would produce: the keyed group for the tuple's value at the
+    /// dispatch column merged with the residual triggers by original
+    /// `(rule, atom)` position. Both the sequential round loop and the
+    /// parallel enumerator ([`crate::shard`]) iterate this, so their
+    /// per-delta trigger sequence numbers always line up.
+    pub(crate) fn triggers_for(&self, tuple: &Tuple) -> MergedTriggers<'_> {
+        let keyed: &[(usize, usize)] = if self.keyed.is_empty() {
+            &[]
+        } else {
+            let got = if self.col == 0 {
+                Some(&tuple.loc)
+            } else {
+                tuple.args.get(self.col - 1)
+            };
+            got.and_then(|v| self.keyed.get(v)).map_or(&[], Vec::as_slice)
+        };
+        MergedTriggers { keyed, rest: &self.rest, i: 0, j: 0 }
+    }
+}
+
+/// Allocation-free two-pointer merge of a keyed trigger group with the
+/// residual triggers (both already sorted by `(rule, atom)`).
+pub(crate) struct MergedTriggers<'a> {
+    keyed: &'a [(usize, usize)],
+    rest: &'a [(usize, usize)],
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for MergedTriggers<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let from_keyed = match (self.keyed.get(self.i), self.rest.get(self.j)) {
+            (Some(a), Some(b)) => a < b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        Some(if from_keyed {
+            self.i += 1;
+            self.keyed[self.i - 1]
+        } else {
+            self.j += 1;
+            self.rest[self.j - 1]
+        })
+    }
+}
+
 /// Is `v` a variant on which `HashMap` equality matches [`CmpOp::Eq`]?
 fn keyable(v: &Value) -> bool {
     matches!(v, Value::Int(_) | Value::Str(_) | Value::Bool(_))
@@ -247,8 +298,23 @@ impl Engine {
                         .map(|(tid, t)| (*tid, t.table.as_str())),
                 );
             }
+            // Under `Shards(n)`, large rounds precompute their join matches
+            // across a worker pool; the apply loop below then consumes a
+            // unit's matches only while the delta-tracker epoch proves the
+            // round-start state they were enumerated against is still
+            // current, recomputing sequentially otherwise (see
+            // [`crate::shard`]). Small rounds, non-`par_safe` programs, and
+            // plain `Batch` skip straight to the sequential loop.
+            let mut enumerated = if self.strategy().workers() > 1
+                && self.par_safe
+                && pending.len() >= self.shard_min_round
+            {
+                Some(crate::shard::enumerate_round(self, &pending))
+            } else {
+                None
+            };
             let mut outcome = Ok(());
-            'round: for (tid, tuple) in &pending {
+            'round: for (idx, (tid, tuple)) in pending.iter().enumerate() {
                 // A tuple may have died while queued (replacement/cascade).
                 let rec = &self.log.tuples[*tid as usize];
                 if rec.kind != TupleKind::Event && rec.disappear.is_some() {
@@ -262,33 +328,16 @@ impl Engine {
                 // column (if any), merged with the residual triggers in
                 // original `(rule, atom)` order so firing order matches
                 // the plain trigger list exactly.
-                let keyed: &[(usize, usize)] = if dispatch.keyed.is_empty() {
-                    &[]
-                } else {
-                    let got = if dispatch.col == 0 {
-                        Some(&tuple.loc)
-                    } else {
-                        tuple.args.get(dispatch.col - 1)
-                    };
-                    got.and_then(|v| dispatch.keyed.get(v)).map_or(&[], Vec::as_slice)
-                };
-                let rest = dispatch.rest.as_slice();
-                let (mut i, mut j) = (0, 0);
-                while i < keyed.len() || j < rest.len() {
-                    let from_keyed = match (keyed.get(i), rest.get(j)) {
-                        (Some(a), Some(b)) => a < b,
-                        (Some(_), None) => true,
-                        _ => false,
-                    };
-                    let (rule_idx, atom_idx) = if from_keyed {
-                        i += 1;
-                        keyed[i - 1]
-                    } else {
-                        j += 1;
-                        rest[j - 1]
-                    };
+                for (seq, (rule_idx, atom_idx)) in dispatch.triggers_for(tuple).enumerate() {
                     let fired = if self.rules[rule_idx].agg.is_some() {
                         self.agg_add(rule_idx, *tid, tuple, &mut round_out, result)
+                    } else if let Some(matches) = enumerated
+                        .as_mut()
+                        .and_then(|en| en.take((idx, seq), self.deltas.epoch()))
+                    {
+                        self.apply_enumerated(
+                            rule_idx, atom_idx, matches, tuple, &mut round_out, result,
+                        )
                     } else {
                         self.fire_batch(rule_idx, atom_idx, *tid, tuple, &mut round_out, result)
                     };
@@ -403,7 +452,7 @@ impl Engine {
 /// already merged (stable), or recent but — for positions after the delta
 /// slot — not in the innermost round. Pending tuples (in no partition)
 /// never join; they are next-round deltas.
-fn joinable(deltas: &DeltaTracker, tid: TupleId, exclude_recent: bool) -> bool {
+pub(crate) fn joinable(deltas: &DeltaTracker, tid: TupleId, exclude_recent: bool) -> bool {
     match deltas.visibility(tid) {
         Visibility::Stable | Visibility::RecentOuter => true,
         Visibility::RecentInnermost => !exclude_recent,

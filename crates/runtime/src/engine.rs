@@ -30,11 +30,12 @@ use crate::delta::{DeltaTracker, RelationDeltaStats};
 use crate::index::IndexRegistry;
 use crate::log::{ExecEvent, ExecLog, Time, TupleId, TupleKind, TupleRecord};
 use crate::store::{AddOutcome, DropOutcome, Store};
-use mpr_ndlog::ast::{AggKind, Atom, Rule, Term};
+use mpr_ndlog::ast::{AggKind, Atom, Expr, Rule, Term};
 use mpr_ndlog::eval::{CountingFuncs, Env};
 use mpr_ndlog::{Program, Schema, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// How the engine propagates deltas to fixpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,44 +47,85 @@ pub enum EvalStrategy {
     /// Batch semi-naive: whole rounds of deltas join at once through keyed
     /// hash indexes, with stable/recent/delta partitions per relation.
     Batch,
+    /// Sharded batch semi-naive: the same round loop as
+    /// [`EvalStrategy::Batch`], but large rounds partition their pending
+    /// delta by relation/switch key and enumerate joins across a scoped
+    /// worker pool of `n` threads ([`crate::shard`]). Results are applied
+    /// sequentially in canonical order, so fixpoints, logs and derivation
+    /// counts are bit-identical to single-threaded batch. `Shards(1)` (or
+    /// any `n` on a round below [`Options::shard_min_round`]) degrades to
+    /// plain batch.
+    Shards(usize),
 }
 
-/// Process-wide default strategy: 0 = undecided, 1 = pipelined, 2 = batch.
-static DEFAULT_STRATEGY: AtomicU8 = AtomicU8::new(0);
+/// Env-derived default, resolved exactly once per process.
+static ENV_DEFAULT: OnceLock<EvalStrategy> = OnceLock::new();
+
+/// Explicit [`EvalStrategy::set_global_default`] override, packed so a
+/// single atomic carries the shard count: `0` = no override, else the low
+/// byte is the variant code and the high bits the `Shards` worker count.
+/// Keeping the override separate from the `OnceLock` means a racing lazy
+/// env resolution can never clobber an explicit override — the bug the old
+/// "read 0, resolve env, store" sequence had.
+static OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+fn encode(s: EvalStrategy) -> u64 {
+    match s {
+        EvalStrategy::Pipelined => 1,
+        EvalStrategy::Batch => 2,
+        EvalStrategy::Shards(n) => 3 | ((n as u64) << 8),
+    }
+}
+
+fn decode(code: u64) -> Option<EvalStrategy> {
+    match code & 0xff {
+        1 => Some(EvalStrategy::Pipelined),
+        2 => Some(EvalStrategy::Batch),
+        3 => Some(EvalStrategy::Shards((code >> 8) as usize)),
+        _ => None,
+    }
+}
 
 impl EvalStrategy {
-    /// The process-wide default used by [`Options::default`]. Decided on
-    /// first use from the `MPR_EVAL_STRATEGY` environment variable
-    /// (`pipelined` or `batch`, case-insensitive), falling back to
-    /// [`EvalStrategy::Batch`]; later changed with
-    /// [`EvalStrategy::set_global_default`].
+    /// The process-wide default used by [`Options::default`]. Resolved
+    /// exactly once from the `MPR_EVAL_STRATEGY` environment variable
+    /// (`pipelined`, `batch`, or `shardsN`, case-insensitive — see the
+    /// [`std::str::FromStr`] impl), falling back to [`EvalStrategy::Batch`];
+    /// an explicit [`EvalStrategy::set_global_default`] takes precedence
+    /// and is never clobbered by the lazy env read, no matter how many
+    /// threads race on first use.
     pub fn global_default() -> EvalStrategy {
-        match DEFAULT_STRATEGY.load(Ordering::Relaxed) {
-            1 => EvalStrategy::Pipelined,
-            2 => EvalStrategy::Batch,
-            _ => {
-                let from_env = std::env::var("MPR_EVAL_STRATEGY")
-                    .map(|v| v.to_ascii_lowercase())
-                    .ok();
-                let s = match from_env.as_deref() {
-                    Some("pipelined") | Some("per-tuple") => EvalStrategy::Pipelined,
-                    _ => EvalStrategy::Batch,
-                };
-                EvalStrategy::set_global_default(s);
-                s
-            }
+        if let Some(s) = decode(OVERRIDE.load(Ordering::Acquire)) {
+            return s;
         }
+        *ENV_DEFAULT.get_or_init(|| {
+            std::env::var("MPR_EVAL_STRATEGY")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(EvalStrategy::Batch)
+        })
     }
 
     /// Override the process-wide default strategy (benchmark sweeps, the
     /// dual-strategy end-to-end tests). Engines already built keep the
     /// strategy they were built with.
     pub fn set_global_default(s: EvalStrategy) {
-        let code = match s {
-            EvalStrategy::Pipelined => 1,
-            EvalStrategy::Batch => 2,
-        };
-        DEFAULT_STRATEGY.store(code, Ordering::Relaxed);
+        OVERRIDE.store(encode(s), Ordering::Release);
+    }
+
+    /// `true` for the strategies built on the batch round loop (plans,
+    /// keyed indexes, delta partitions): [`EvalStrategy::Batch`] and
+    /// [`EvalStrategy::Shards`].
+    pub fn is_batch(&self) -> bool {
+        matches!(self, EvalStrategy::Batch | EvalStrategy::Shards(_))
+    }
+
+    /// Worker count for parallel round enumeration (1 = sequential).
+    pub(crate) fn workers(&self) -> usize {
+        match self {
+            EvalStrategy::Shards(n) => (*n).max(1),
+            _ => 1,
+        }
     }
 }
 
@@ -98,7 +140,33 @@ impl std::fmt::Display for EvalStrategy {
         match self {
             EvalStrategy::Pipelined => write!(f, "pipelined"),
             EvalStrategy::Batch => write!(f, "batch"),
+            EvalStrategy::Shards(n) => write!(f, "shards{n}"),
         }
+    }
+}
+
+impl std::str::FromStr for EvalStrategy {
+    type Err = String;
+
+    /// Parse the `MPR_EVAL_STRATEGY` syntax: `pipelined` (or `per-tuple`),
+    /// `batch`, and `shardsN` / `shards:N` / `shards(N)` with `N ≥ 1`
+    /// (clamped to 64 workers).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "pipelined" | "per-tuple" => return Ok(EvalStrategy::Pipelined),
+            "batch" => return Ok(EvalStrategy::Batch),
+            _ => {}
+        }
+        if let Some(rest) = lower.strip_prefix("shards") {
+            let digits = rest.trim_start_matches([':', '(', '=']).trim_end_matches(')');
+            if let Ok(n) = digits.parse::<usize>() {
+                if n >= 1 {
+                    return Ok(EvalStrategy::Shards(n.min(64)));
+                }
+            }
+        }
+        Err(format!("unknown evaluation strategy `{s}`"))
     }
 }
 
@@ -207,6 +275,11 @@ pub struct Options {
     pub unique_seed: i64,
     /// How deltas propagate to fixpoint (see [`EvalStrategy`]).
     pub strategy: EvalStrategy,
+    /// Under [`EvalStrategy::Shards`], the minimum pending-delta count for
+    /// a round to be enumerated in parallel; smaller rounds run the plain
+    /// sequential batch loop, since thread handoff costs more than the
+    /// round. Irrelevant to the other strategies.
+    pub shard_min_round: usize,
 }
 
 impl Default for Options {
@@ -216,6 +289,7 @@ impl Default for Options {
             max_derivations: 50_000_000,
             unique_seed: 1000,
             strategy: EvalStrategy::default(),
+            shard_min_round: 16,
         }
     }
 }
@@ -244,7 +318,7 @@ pub(crate) struct CompiledRule {
     /// Is the head an event table?
     head_is_event: bool,
     /// Variable sets per selection (for earliest evaluation).
-    sel_vars: Vec<BTreeSet<String>>,
+    pub(crate) sel_vars: Vec<BTreeSet<String>>,
     /// Aggregate spec, if the head carries one.
     pub(crate) agg: Option<AggSpec>,
 }
@@ -299,6 +373,26 @@ pub struct Engine {
     pub(crate) batch_dispatch: HashMap<String, std::sync::Arc<batch::TriggerDispatch>>,
     /// Stable/recent/delta partitions per relation (batch only).
     pub(crate) deltas: DeltaTracker,
+    /// Whether the program's selections are free of function calls, so a
+    /// round's join matches can be enumerated on worker threads with a
+    /// stateless function host without perturbing the `f_unique` stream
+    /// (see [`crate::shard`]). Computed once at compile time.
+    pub(crate) par_safe: bool,
+    /// Copied from [`Options::shard_min_round`].
+    pub(crate) shard_min_round: usize,
+}
+
+/// Does `e` contain any function call? Calls in *selections* would have to
+/// run on worker threads during parallel enumeration, where the stateful
+/// [`CountingFuncs`] host is unavailable; programs with such calls fall
+/// back to sequential rounds. (Calls in assigns are fine — assigns only
+/// ever run in the sequential apply step.)
+fn expr_has_call(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => false,
+        Expr::Binary(_, l, r) => expr_has_call(l) || expr_has_call(r),
+        Expr::Call(..) => true,
+    }
 }
 
 impl Engine {
@@ -405,7 +499,14 @@ impl Engine {
         }
         let funcs = CountingFuncs::starting_at(opts.unique_seed);
         let strategy = opts.strategy;
-        let (plans, indexes, batch_dispatch) = if strategy == EvalStrategy::Batch {
+        let par_safe = rules.iter().all(|cr| {
+            cr.rule
+                .sels
+                .iter()
+                .all(|s| !expr_has_call(&s.lhs) && !expr_has_call(&s.rhs))
+        });
+        let shard_min_round = opts.shard_min_round.max(1);
+        let (plans, indexes, batch_dispatch) = if strategy.is_batch() {
             let mut registry = IndexRegistry::default();
             let plans = batch::build_plans(&rules, &mut registry);
             let dispatch = batch::build_dispatch(&triggers, &plans);
@@ -435,6 +536,8 @@ impl Engine {
             indexes,
             batch_dispatch,
             deltas: DeltaTracker::default(),
+            par_safe,
+            shard_min_round,
         })
     }
 
@@ -620,7 +723,7 @@ impl Engine {
                 disappear: None,
                 kind,
             });
-            if self.strategy == EvalStrategy::Batch {
+            if self.strategy.is_batch() {
                 self.indexes.insert(tid, tuple);
             }
         }
@@ -713,7 +816,7 @@ impl Engine {
 
     /// Kill a tuple instance that lost all support: cascade retractions.
     fn kill(&mut self, tid: TupleId, tuple: Tuple, result: &mut StepResult) -> Result<(), RuntimeError> {
-        if self.strategy == EvalStrategy::Batch {
+        if self.strategy.is_batch() {
             self.indexes.remove(tid, &tuple);
             self.deltas.retire(&tuple.table, tid);
         }
@@ -795,7 +898,7 @@ impl Engine {
     ) -> Result<(), RuntimeError> {
         match self.strategy {
             EvalStrategy::Pipelined => self.drain_pipelined(queue, result),
-            EvalStrategy::Batch => self.drain_batch(queue, result),
+            EvalStrategy::Batch | EvalStrategy::Shards(_) => self.drain_batch(queue, result),
         }
     }
 
@@ -864,9 +967,15 @@ impl Engine {
                     Term::Var(v) => env.get(v).cloned(),
                     Term::Agg(..) => None,
                 };
+                // `scan_ordered`, not `scan`: under primary-key replacement
+                // (last-write-wins) the candidate visit order is visible in
+                // the fixpoint, so it must not inherit hash-map iteration
+                // order (the batch path gets the same guarantee from its
+                // BTreeSet index buckets).
                 let candidates: Vec<(TupleId, Tuple)> = self
                     .store
-                    .scan(&atom.table, node_filter.as_ref())
+                    .scan_ordered(&atom.table, node_filter.as_ref())
+                    .into_iter()
                     .map(|l| (l.tid, l.tuple.clone()))
                     .collect();
                 for (ctid, ctuple) in candidates {
@@ -1450,5 +1559,69 @@ mod tests {
         let ev_rec = &log.tuples[0];
         assert_eq!(ev_rec.kind, TupleKind::Event);
         assert_eq!(ev_rec.disappear, Some(ev_rec.appear));
+    }
+
+    #[test]
+    fn strategy_parse_and_display() {
+        assert_eq!("pipelined".parse(), Ok(EvalStrategy::Pipelined));
+        assert_eq!("PER-TUPLE".parse(), Ok(EvalStrategy::Pipelined));
+        assert_eq!("Batch".parse(), Ok(EvalStrategy::Batch));
+        assert_eq!("shards4".parse(), Ok(EvalStrategy::Shards(4)));
+        assert_eq!("shards:2".parse(), Ok(EvalStrategy::Shards(2)));
+        assert_eq!("shards(8)".parse(), Ok(EvalStrategy::Shards(8)));
+        // Clamped to 64 workers; zero and garbage are rejected.
+        assert_eq!("shards9999".parse(), Ok(EvalStrategy::Shards(64)));
+        assert!("shards0".parse::<EvalStrategy>().is_err());
+        assert!("turbo".parse::<EvalStrategy>().is_err());
+        for s in [EvalStrategy::Pipelined, EvalStrategy::Batch, EvalStrategy::Shards(6)] {
+            assert_eq!(s.to_string().parse(), Ok(s));
+        }
+    }
+
+    #[test]
+    fn strategy_override_roundtrip() {
+        for s in [EvalStrategy::Pipelined, EvalStrategy::Shards(5), EvalStrategy::Batch] {
+            assert_eq!(super::decode(super::encode(s)), Some(s));
+        }
+        assert_eq!(super::decode(0), None);
+    }
+
+    /// The satellite-1 regression: many threads hitting first use of the
+    /// global default must all observe the same strategy (the old
+    /// read-then-store lazy init let a racing `set_global_default` be
+    /// clobbered by a concurrent env resolution). This test only *reads*
+    /// the default so it cannot contaminate other tests in the process.
+    #[test]
+    fn global_default_concurrent_first_use_is_consistent() {
+        let results: Vec<EvalStrategy> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| scope.spawn(EvalStrategy::global_default))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "split default: {results:?}");
+    }
+
+    #[test]
+    fn shards_strategy_reaches_same_fixpoint_as_batch() {
+        let run = |strategy| {
+            let p = parse_program(
+                "t",
+                "materialize(A, infinity, 2, keys(0,1)).\n\
+                 materialize(B, infinity, 2, keys(0,1)).\n\
+                 r1 B(@N,X,Y) :- A(@N,X,Y), X > 0.",
+            )
+            .unwrap();
+            let mut e = Engine::with_options(
+                &p,
+                Options { strategy, shard_min_round: 1, ..Options::default() },
+            )
+            .unwrap();
+            for x in [3, -1, 7, 2] {
+                e.insert(Tuple::new("A", v(1), vec![v(x), v(x + 1)])).unwrap();
+            }
+            (e.tuples("B"), e.total_derivations())
+        };
+        assert_eq!(run(EvalStrategy::Batch), run(EvalStrategy::Shards(2)));
     }
 }

@@ -2,12 +2,15 @@
 //!
 //! The runtime substrate of the reproduction: a deterministic semi-naive
 //! datalog engine in the style of RapidNet (the paper's declarative SDN
-//! environment, §5.1). Two evaluation strategies share one semantic core
+//! environment, §5.1). Three evaluation strategies share one semantic core
 //! (see [`engine::EvalStrategy`]): *batch* semi-naive iteration — whole
 //! rounds of deltas joined through keyed hash indexes ([`index`]) with
-//! stable/recent/delta partitions per relation ([`delta`]) — and the
-//! original per-tuple *pipelined* propagation, kept as the differential
-//! baseline. Shared machinery:
+//! stable/recent/delta partitions per relation ([`delta`]) — *sharded*
+//! batch, which enumerates large rounds' join matches across a scoped
+//! worker pool partitioned by relation/switch key while staying
+//! bit-identical to single-threaded batch ([`shard`]), and the original
+//! per-tuple *pipelined* propagation, kept as the differential baseline.
+//! Shared machinery:
 //!
 //! - per-node tuple stores with primary-key replacement ([`store`]);
 //! - support counting and cascading retraction (UNDERIVE/DISAPPEAR);
@@ -30,6 +33,7 @@ pub mod engine;
 pub mod index;
 pub mod log;
 pub mod naive;
+pub mod shard;
 pub mod store;
 
 pub use delta::{DeltaTracker, RelationDeltaStats};

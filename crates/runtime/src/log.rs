@@ -149,7 +149,7 @@ impl ExecEvent {
 }
 
 /// The full execution log.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecLog {
     /// Tuple lifetime records, indexed by [`TupleId`].
     pub tuples: Vec<TupleRecord>,

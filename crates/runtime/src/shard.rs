@@ -1,0 +1,347 @@
+//! Sharded parallel round enumeration for the batch engine
+//! ([`crate::engine::EvalStrategy::Shards`]).
+//!
+//! # How a round parallelizes without changing its answer
+//!
+//! `Engine::drain_batch` fires a round's deltas strictly in order; firings
+//! mutate the engine, so the loop itself cannot be split across threads.
+//! What *can* run in parallel is the expensive read-only part: enumerating
+//! the join matches each `(delta, trigger)` pair produces against the
+//! round-start state. This module does exactly that — between
+//! `begin_round` and the apply loop, the round's work is partitioned by a
+//! relation/switch shard key and each [`std::thread::scope`] worker
+//! enumerates its shard's units against the frozen engine (`&Engine`:
+//! indexes, tuple log, delta partitions are all read-only here). The apply
+//! loop then walks the *exact* sequential order and, for each unit, either
+//! consumes the precomputed matches or — when the engine has been mutated
+//! in a way enumeration could observe — recomputes them via the ordinary
+//! sequential `fire_batch`.
+//!
+//! Staleness is detected with the [`DeltaTracker`] mutation epoch
+//! ([`crate::delta`]): it bumps on every tracked retire (kills,
+//! primary-key replacement cascades) and on nested round starts — the only
+//! mid-round events that change which tuples a probe may see. Tuples
+//! *added* mid-round never need a bump: they enter the tracker as
+//! `Absent`, which the batch visibility predicate (`batch.rs`) already hides
+//! from every probe, so enumeration (which never saw them) and a
+//! sequential recomputation (which filters them out) agree. Selections are
+//! evaluated on workers with the stateless [`PureFuncs`] host; the engine
+//! only takes this path when no selection contains a function call
+//! (`Engine::par_safe`), so the stateful `f_unique` counter — which only
+//! assignments may touch, and assignments only ever run in the sequential
+//! apply step — sees the exact same call sequence as a single-threaded
+//! run. The result: fixpoints, provenance logs, and derivation counts are
+//! bit-identical to [`crate::engine::EvalStrategy::Batch`] by
+//! construction, which `tests/differential.rs` locks in across the random
+//! program suite.
+
+use crate::batch::joinable;
+use crate::delta::DeltaTracker;
+use crate::engine::{match_atom, resolve_term, CompiledRule, Engine, RuntimeError, StepResult};
+use crate::index::IndexRegistry;
+use crate::log::{ExecLog, TupleId, TupleKind};
+use mpr_ndlog::eval::{Env, PureFuncs};
+use mpr_ndlog::Tuple;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+
+/// Everything the scoped workers share is a plain borrow of the engine, so
+/// the engine itself must be shareable across threads. This holds because
+/// the crate is `Rc`/`RefCell`-free — enforce it at compile time so a
+/// future interior-mutability field fails here, not in a race.
+const _: fn() = || {
+    fn requires_send_sync<T: Send + Sync>() {}
+    requires_send_sync::<Engine>();
+};
+
+/// One join match as `fire_batch` builds them: the environment after all
+/// extensions, the body tuple ids in *extension* order (delta first), and
+/// the per-selection done flags.
+pub(crate) type Matches = Vec<(Env, Vec<TupleId>, Vec<bool>)>;
+
+/// Key of one enumerable unit: `(pending index, trigger sequence number)`
+/// in the merged keyed/rest trigger order — exactly the order the apply
+/// loop visits, so consumption is strictly monotone in this key.
+type UnitKey = (usize, usize);
+
+/// The precomputed matches of one round, consumed in apply order.
+pub(crate) struct RoundEnumeration {
+    /// `DeltaTracker` epoch the round was enumerated at; any bump means
+    /// every remaining unit may be stale.
+    epoch: u64,
+    /// `(key, matches)` sorted by key.
+    units: Vec<(UnitKey, Matches)>,
+    /// First unit not yet consumed or skipped.
+    cursor: usize,
+}
+
+impl RoundEnumeration {
+    /// Hand out the matches enumerated for `key`, or `None` when the apply
+    /// loop must recompute sequentially: the engine has mutated since
+    /// enumeration (`now_epoch` moved), or the unit was never enumerated.
+    /// Units for deltas the apply loop skipped (died mid-round) are
+    /// discarded in passing — the key order is the apply order.
+    pub(crate) fn take(&mut self, key: UnitKey, now_epoch: u64) -> Option<Matches> {
+        if now_epoch != self.epoch {
+            return None;
+        }
+        while self.cursor < self.units.len() && self.units[self.cursor].0 < key {
+            self.cursor += 1;
+        }
+        if self.cursor < self.units.len() && self.units[self.cursor].0 == key {
+            let matches = std::mem::take(&mut self.units[self.cursor].1);
+            self.cursor += 1;
+            Some(matches)
+        } else {
+            None
+        }
+    }
+}
+
+/// The frozen round-start state a worker enumerates against.
+#[derive(Clone, Copy)]
+struct RoundCtx<'a> {
+    rules: &'a [CompiledRule],
+    plans: &'a [crate::batch::RulePlan],
+    indexes: &'a IndexRegistry,
+    log: &'a ExecLog,
+    deltas: &'a DeltaTracker,
+}
+
+/// One unit of parallel work: enumerate the matches of rule `rule_idx`
+/// with the delta bound at body position `atom_idx`.
+struct Unit<'a> {
+    key: UnitKey,
+    rule_idx: usize,
+    atom_idx: usize,
+    tid: TupleId,
+    tuple: &'a Tuple,
+}
+
+/// Shard assignment: all of a relation's deltas at one location land on
+/// the same worker. `DefaultHasher::new()` is unkeyed, so the partition —
+/// though it never affects results, only which thread computes what — is
+/// reproducible across runs.
+fn shard_of(tuple: &Tuple, workers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    tuple.table.hash(&mut h);
+    tuple.loc.hash(&mut h);
+    (h.finish() % workers as u64) as usize
+}
+
+/// Enumerate the whole round's join matches across a scoped worker pool.
+/// Call after `begin_round` and before the first firing; the caller gates
+/// on worker count, `par_safe`, and `shard_min_round`.
+pub(crate) fn enumerate_round(
+    e: &Engine,
+    pending: &VecDeque<(TupleId, Tuple)>,
+) -> RoundEnumeration {
+    let workers = e.strategy().workers();
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    for (idx, (tid, tuple)) in pending.iter().enumerate() {
+        let rec = &e.log.tuples[*tid as usize];
+        if rec.kind != TupleKind::Event && rec.disappear.is_some() {
+            continue;
+        }
+        let Some(dispatch) = e.batch_dispatch.get(&tuple.table) else {
+            continue;
+        };
+        for (seq, (rule_idx, atom_idx)) in dispatch.triggers_for(tuple).enumerate() {
+            // Aggregate triggers mutate group state; they stay sequential.
+            if e.rules[rule_idx].agg.is_some() {
+                continue;
+            }
+            units.push(Unit { key: (idx, seq), rule_idx, atom_idx, tid: *tid, tuple });
+        }
+    }
+    let epoch = e.deltas.epoch();
+    let ctx = RoundCtx {
+        rules: &e.rules,
+        plans: &e.plans,
+        indexes: &e.indexes,
+        log: &e.log,
+        deltas: &e.deltas,
+    };
+    // Partition unit indices by shard, one bucket per worker.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (ui, u) in units.iter().enumerate() {
+        buckets[shard_of(u.tuple, workers)].push(ui);
+    }
+    let mut enumerated: Vec<(UnitKey, Matches)> = Vec::with_capacity(units.len());
+    std::thread::scope(|scope| {
+        let units = &units;
+        let handles: Vec<_> = buckets
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .iter()
+                        .map(|&ui| {
+                            let u = &units[ui];
+                            (u.key, enumerate_unit(ctx, u))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            enumerated.extend(h.join().expect("shard worker panicked"));
+        }
+    });
+    // The apply loop consumes keys in increasing order; restore it across
+    // the per-worker result chunks.
+    enumerated.sort_unstable_by_key(|&(key, _)| key);
+    RoundEnumeration { epoch, units: enumerated, cursor: 0 }
+}
+
+/// Read-only mirror of `Engine::fire_batch` up to (but excluding) the
+/// firing step: prefilter, delta unification, then index-probe extensions
+/// in plan order. Candidate ids come out of `BTreeSet` buckets, so the
+/// match order is identical to the sequential loop's.
+fn enumerate_unit(ctx: RoundCtx<'_>, u: &Unit<'_>) -> Matches {
+    let plan = &ctx.plans[u.rule_idx].delta_plans[u.atom_idx];
+    for &(col, ref want) in &plan.prefilter {
+        let got = if col == 0 { Some(&u.tuple.loc) } else { u.tuple.args.get(col - 1) };
+        match got {
+            Some(v) if mpr_ndlog::ast::CmpOp::Eq.eval(v, want) => {}
+            _ => return Vec::new(),
+        }
+    }
+    let cr = &ctx.rules[u.rule_idx];
+    let Some(env0) = match_atom(&cr.rule.body[u.atom_idx], u.tuple, &Env::new()) else {
+        return Vec::new();
+    };
+    let mut sel_done = vec![false; cr.rule.sels.len()];
+    if !eval_ready_sels_pure(cr, &env0, &mut sel_done) {
+        return Vec::new();
+    }
+    let mut matches: Matches = vec![(env0, vec![u.tid], sel_done)];
+    for ap in &plan.atoms {
+        let mut next: Matches = Vec::new();
+        for (env, tids, sels) in &matches {
+            let mut key = Vec::with_capacity(ap.key_terms.len());
+            for t in &ap.key_terms {
+                match resolve_term(t, env) {
+                    Some(v) => key.push(v),
+                    // Mirrors `fire_batch`: unreachable by construction,
+                    // and the whole unit comes up empty if it ever isn't.
+                    None => return Vec::new(),
+                }
+            }
+            for ctid in ctx
+                .indexes
+                .probe(ap.index_id, &key)
+                .filter(|&tid| joinable(ctx.deltas, tid, ap.exclude_recent))
+            {
+                let ctuple = &ctx.log.tuples[ctid as usize].tuple;
+                let Some(env2) = match_atom(&cr.rule.body[ap.atom_idx], ctuple, env) else {
+                    continue;
+                };
+                let mut sels2 = sels.clone();
+                if !eval_ready_sels_pure(cr, &env2, &mut sels2) {
+                    continue;
+                }
+                let mut tids2 = tids.clone();
+                tids2.push(ctid);
+                next.push((env2, tids2, sels2));
+            }
+        }
+        matches = next;
+        if matches.is_empty() {
+            return matches;
+        }
+    }
+    matches
+}
+
+/// `Engine::eval_ready_sels` with the stateless host: evaluate every
+/// not-yet-done selection whose variables are all bound. Only called on
+/// `par_safe` programs, where no selection contains a function call, so
+/// the results (and the untouched `f_unique` stream) match the sequential
+/// path exactly.
+fn eval_ready_sels_pure(cr: &CompiledRule, env: &Env, done: &mut [bool]) -> bool {
+    for i in 0..done.len() {
+        if done[i] {
+            continue;
+        }
+        if cr.sel_vars[i].iter().all(|v| env.contains_key(v)) {
+            match cr.rule.sels[i].eval(env, &mut PureFuncs) {
+                Ok(true) => done[i] = true,
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+impl Engine {
+    /// Fire one unit's precomputed matches: the tail of `fire_batch` —
+    /// reorder the extension-order tids into body-atom order, then
+    /// `finish_firing` each match sequentially.
+    pub(crate) fn apply_enumerated(
+        &mut self,
+        rule_idx: usize,
+        atom_idx: usize,
+        matches: Matches,
+        delta: &Tuple,
+        queue: &mut VecDeque<(TupleId, Tuple)>,
+        result: &mut StepResult,
+    ) -> Result<(), RuntimeError> {
+        let plans = std::sync::Arc::clone(&self.plans);
+        let plan = &plans[rule_idx].delta_plans[atom_idx];
+        for (env, tids, sels) in matches {
+            let mut body_tids = vec![0; tids.len()];
+            body_tids[atom_idx] = tids[0];
+            for (slot, ap) in plan.atoms.iter().enumerate() {
+                body_tids[ap.atom_idx] = tids[slot + 1];
+            }
+            self.finish_firing(rule_idx, env, sels, body_tids, delta, queue, result)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_ndlog::Value;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let t = |table: &str, loc: i64| Tuple::new(table, Value::Int(loc), vec![]);
+        for workers in 1..=8 {
+            for tab in ["FlowTable", "Link", "Reach"] {
+                for loc in 0..10 {
+                    let a = shard_of(&t(tab, loc), workers);
+                    let b = shard_of(&t(tab, loc), workers);
+                    assert_eq!(a, b, "shard must be a pure function of (table, loc)");
+                    assert!(a < workers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn take_is_monotone_and_epoch_guarded() {
+        let m = |n: u64| vec![(Env::new(), vec![n], vec![])];
+        let mut e = RoundEnumeration {
+            epoch: 7,
+            units: vec![((0, 0), m(1)), ((0, 1), m(2)), ((2, 0), m(3))],
+            cursor: 0,
+        };
+        // Consuming in order hands out each unit once.
+        assert!(e.take((0, 0), 7).is_some());
+        // Skipping a pending delta (key (0,1)) discards its unit.
+        assert!(e.take((2, 0), 7).is_some());
+        assert!(e.take((3, 0), 7).is_none(), "unknown keys miss");
+        // After an epoch bump, nothing is handed out.
+        let mut e2 = RoundEnumeration {
+            epoch: 7,
+            units: vec![((0, 0), m(1))],
+            cursor: 0,
+        };
+        assert!(e2.take((0, 0), 8).is_none(), "stale epoch must miss");
+    }
+}

@@ -231,6 +231,11 @@ impl Store {
     }
 
     /// Iterate live tuples of `table`, optionally restricted to one node.
+    ///
+    /// The iteration walks hash maps, so the order varies between runs and
+    /// even between identical stores. Callers whose results depend on visit
+    /// order — anything feeding the fixpoint or the provenance log — must
+    /// use [`Store::scan_ordered`] instead.
     pub fn scan<'a>(
         &'a self,
         table: &str,
@@ -246,6 +251,17 @@ impl Store {
                 },
             },
         }
+    }
+
+    /// Like [`Store::scan`], but in ascending instance-id order — a total,
+    /// run-to-run stable order (ids are minted sequentially), matching the
+    /// `BTreeSet` bucket order of the batch engine's keyed indexes. Join
+    /// loops visit candidates through this so that order-sensitive effects
+    /// (primary-key replacement is last-write-wins) are deterministic.
+    pub fn scan_ordered<'a>(&'a self, table: &str, node: Option<&'a Value>) -> Vec<&'a LiveTuple> {
+        let mut v: Vec<&'a LiveTuple> = self.scan(table, node).collect();
+        v.sort_unstable_by_key(|l| l.tid);
+        v
     }
 
     /// All live tuples of `table`, sorted for deterministic output.

@@ -15,11 +15,13 @@
 //! - [`langs`] — mini-Trema and mini-Pyretic frontends and their meta models.
 //! - [`core`] — meta provenance, cost-ordered repair search, the debugger.
 //!
-//! [`EvalStrategy`] (re-exported from the runtime) selects between the
-//! batch semi-naive engine (the default) and the per-tuple pipelined
+//! [`EvalStrategy`] (re-exported from the runtime) selects among the
+//! batch semi-naive engine (the default), its sharded parallel variant
+//! (`Shards(n)` — batch rounds with join enumeration fanned out over `n`
+//! worker threads, bit-identical results), and the per-tuple pipelined
 //! baseline, either per-engine via `runtime::Options` or process-wide via
 //! [`EvalStrategy::set_global_default`] / the `MPR_EVAL_STRATEGY`
-//! environment variable.
+//! environment variable (`pipelined`, `batch`, or `shardsN`).
 //!
 //! ## Quickstart
 //!

@@ -206,4 +206,82 @@ mod tests {
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "hits = {hits}");
     }
+
+    /// Pearson's chi-square statistic for `counts` against a uniform
+    /// expectation over `counts.len()` cells.
+    fn chi_square(counts: &[u64], samples: u64) -> f64 {
+        let expected = samples as f64 / counts.len() as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    }
+
+    /// A generous upper bound on the chi-square statistic at `df` degrees
+    /// of freedom: mean + 6 standard deviations (`df + 6·√(2df)`), far
+    /// beyond the 99.99th percentile for the df range tested here, so the
+    /// test never flakes on a fair sampler but any systematic bias — e.g.
+    /// a wrong rejection threshold in `uniform_u64` leaving the low
+    /// residue classes overweighted — blows through it at 100k samples.
+    fn chi_square_bound(df: usize) -> f64 {
+        df as f64 + 6.0 * (2.0 * df as f64).sqrt()
+    }
+
+    /// The hand-rolled rejection threshold in `uniform_u64` must make
+    /// every value of each small span equally likely. Spans are chosen
+    /// with distinct factorizations (primes, a power of two, composites)
+    /// since multiply-shift bias is residue-class dependent.
+    #[test]
+    fn gen_range_is_unbiased_over_small_spans() {
+        const SAMPLES: u64 = 100_000;
+        for (seed, span) in [(11u64, 2usize), (13, 3), (17, 5), (19, 7), (23, 10), (29, 17)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts = vec![0u64; span];
+            for _ in 0..SAMPLES {
+                counts[rng.gen_range(0..span as u64) as usize] += 1;
+            }
+            let x2 = chi_square(&counts, SAMPLES);
+            let bound = chi_square_bound(span - 1);
+            assert!(x2 < bound, "span {span}: chi-square {x2:.1} ≥ {bound:.1} ({counts:?})");
+        }
+    }
+
+    /// Negative and inclusive ranges go through the same `uniform_u64`
+    /// core after offset arithmetic; verify the offsets do not skew it.
+    #[test]
+    fn signed_and_inclusive_ranges_are_unbiased() {
+        const SAMPLES: u64 = 100_000;
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut counts = vec![0u64; 9];
+        for _ in 0..SAMPLES {
+            let x = rng.gen_range(-4..5i64);
+            counts[(x + 4) as usize] += 1;
+        }
+        let x2 = chi_square(&counts, SAMPLES);
+        let bound = chi_square_bound(8);
+        assert!(x2 < bound, "range -4..5: chi-square {x2:.1} ≥ {bound:.1} ({counts:?})");
+
+        let mut counts = vec![0u64; 6];
+        for _ in 0..SAMPLES {
+            counts[rng.gen_range(0..=5u32) as usize] += 1;
+        }
+        let x2 = chi_square(&counts, SAMPLES);
+        let bound = chi_square_bound(5);
+        assert!(x2 < bound, "range 0..=5: chi-square {x2:.1} ≥ {bound:.1} ({counts:?})");
+    }
+
+    /// Cross-check the rejection threshold itself: for a handful of spans,
+    /// `span.wrapping_neg() % span` must equal `2^64 mod span` — the
+    /// smallest low-word value at which a widening multiply lands every
+    /// residue class equally often (Lemire 2019, Fig. 4).
+    #[test]
+    fn rejection_threshold_is_two_to_64_mod_span() {
+        for span in [2u64, 3, 5, 7, 10, 17, 1000, u64::MAX / 2 + 1] {
+            let expected = ((1u128 << 64) % span as u128) as u64;
+            assert_eq!(span.wrapping_neg() % span, expected, "span {span}");
+        }
+    }
 }
