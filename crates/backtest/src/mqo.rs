@@ -456,12 +456,17 @@ pub fn mqo_replay(
             if setup.proactive_routes {
                 for h in setup.topology.hosts.iter().copied() {
                     for (sw, port) in setup.topology.routes_to(h) {
-                        t.get_mut(&sw).unwrap().install(mpr_sdn::flowtable::FlowEntry::new(
-                            1,
-                            mpr_sdn::flowtable::Match::any()
-                                .with(mpr_sdn::packet::Field::DstIp, h),
-                            vec![Action::Output(port)],
-                        ));
+                        // routes_to only names switches in the topology,
+                        // but stay total: an unknown switch is skipped,
+                        // not a panic in a pool worker.
+                        if let Some(ft) = t.get_mut(&sw) {
+                            ft.install(mpr_sdn::flowtable::FlowEntry::new(
+                                1,
+                                mpr_sdn::flowtable::Match::any()
+                                    .with(mpr_sdn::packet::Field::DstIp, h),
+                                vec![Action::Output(port)],
+                            ));
+                        }
                     }
                 }
             }

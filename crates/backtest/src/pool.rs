@@ -58,12 +58,68 @@ where
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("backtest worker panicked") {
-                slots[i] = Some(r);
+            match h.join() {
+                Ok(chunk) => {
+                    for (i, r) in chunk {
+                        slots[i] = Some(r);
+                    }
+                }
+                // Re-raise on the caller's thread with the original
+                // payload — same observable behavior as the sequential
+                // loop, never a process abort from a worker thread.
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
     slots.into_iter().map(|r| r.expect("every index filled")).collect()
+}
+
+/// Like [`par_map`], but with per-item panic containment: an `f` that
+/// panics yields `None` for that item while every other item completes
+/// normally. This is the degraded-mode entry point the backtester uses —
+/// one pathological candidate must not take down the whole repair loop.
+pub fn par_map_contained<T, R, F>(items: &[T], f: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let call = |i: usize, t: &T| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t))).ok()
+    };
+    let k = workers().min(items.len());
+    if k <= 1 {
+        return items.iter().enumerate().map(|(i, t)| call(i, t)).collect();
+    }
+    let mut slots: Vec<Option<Option<R>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let call = &call;
+        let handles: Vec<_> = (0..k)
+            .map(|w| {
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(k)
+                        .map(|(i, t)| (i, call(i, t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // Containment happens per item inside `call`; a stripe-level
+            // join error would mean the catch_unwind itself unwound,
+            // which cannot happen for a caught payload.
+            if let Ok(chunk) = h.join() {
+                for (i, r) in chunk {
+                    slots[i] = Some(r);
+                }
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.flatten()).collect()
 }
 
 #[cfg(test)]
@@ -93,5 +149,28 @@ mod tests {
         let seq: Vec<usize> = items.iter().map(String::len).collect();
         let par = par_map(&items, |_, s| s.len());
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn contained_panics_become_none_and_spare_the_rest() {
+        // Silence the expected panic messages from worker threads.
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<i64> = (0..19).collect();
+        let out = par_map_contained(&items, |_, &x| {
+            if x % 5 == 3 {
+                panic!("poisoned item {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(default);
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 3 {
+                assert_eq!(*r, None, "poisoned item {i} must be contained");
+            } else {
+                assert_eq!(*r, Some(i as i64 * 2));
+            }
+        }
     }
 }

@@ -84,22 +84,55 @@ pub struct CandidateRun {
     pub extra_flows: Vec<(i64, mpr_sdn::flowtable::FlowEntry)>,
 }
 
+/// Maximum attempts per candidate replay in [`replay_candidates`].
+const REPLAY_ATTEMPTS: u32 = 3;
+
+/// [`replay_with_extra_flows`] with bounded retry and exponential backoff.
+///
+/// Replays are deterministic, so a *logic* failure (program that cannot
+/// compile, codec mismatch) fails identically every attempt and comes
+/// back after `attempts` tries with the last error. What retries actually
+/// buy is the transient class — thread-spawn or allocation failure under
+/// memory pressure while many candidates replay in parallel — which
+/// clears once concurrent replays finish. Backoff doubles from 1 ms.
+pub fn replay_with_retry(
+    setup: &BacktestSetup,
+    program: &Program,
+    extra_flows: &[(i64, mpr_sdn::flowtable::FlowEntry)],
+    attempts: u32,
+) -> Result<ReplayOutcome, String> {
+    let mut last_err = String::from("no replay attempts made");
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
+        }
+        match replay_with_extra_flows(setup, program, extra_flows) {
+            Ok(out) => return Ok(out),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
 /// Replay every candidate independently, fanning out across the
 /// [`crate::pool`] worker threads. Each run is hermetic (fresh controller
 /// and network per candidate), so the results are index-aligned and
 /// identical to a sequential loop over [`replay_with_extra_flows`] — this
 /// is the parallel form of the debugger's non-MQO backtest path. `None`
-/// marks candidates that failed to compile or whose replay errored.
+/// marks candidates that failed to compile, whose replay errored after
+/// `REPLAY_ATTEMPTS` (3) tries, or whose replay panicked (contained per
+/// candidate — one pathological candidate cannot take down the loop).
 pub fn replay_candidates(
     setup: &BacktestSetup,
     candidates: &[CandidateRun],
 ) -> Vec<Option<ReplayOutcome>> {
-    crate::pool::par_map(candidates, |_, c| {
+    let out = crate::pool::par_map_contained(candidates, |_, c| {
         let program = c.program.as_ref()?;
         let mut s = setup.clone();
         s.seeds = c.seeds.clone();
-        replay_with_extra_flows(&s, program, &c.extra_flows).ok()
-    })
+        replay_with_retry(&s, program, &c.extra_flows, REPLAY_ATTEMPTS).ok()
+    });
+    out.into_iter().map(|r| r.flatten()).collect()
 }
 
 #[cfg(test)]

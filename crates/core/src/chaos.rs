@@ -1,0 +1,515 @@
+//! Chaos search: sweep seeded random fault schedules over the §5.3
+//! scenarios, looking for schedules the diagnose → repair → backtest loop
+//! cannot recover from.
+//!
+//! The harness is deterministic end to end: a [`FaultClass`] plus a seed
+//! expands to one concrete [`FaultPlan`] via [`random_plan`] (seeded RNG,
+//! topology walked in sorted order), and running the same `(scenario,
+//! class, seed)` triple twice yields byte-identical [`ChaosOutcome`]s —
+//! the property the CI `chaos` job pins.
+//!
+//! **Recovery** means the full loop ran to completion and still produced
+//! repair candidates: no process abort, no panic escaping a worker, a
+//! [`RepairReport`] with `generated() > 0`. Acceptance may legitimately
+//! drop to zero under heavy faults — a network that eats half its control
+//! messages can reject every candidate — and that still counts as
+//! graceful degradation, not a survivor. A **survivor** is a schedule
+//! where the loop itself breaks: an error return, an escaped panic, or an
+//! empty candidate set. Survivors are shrunk by [`minimize`] (greedy
+//! delta debugging over the plan's components) and pinned as
+//! [`regression_cases`] so they can never silently regress.
+
+use crate::debugger::{try_repair_scenario, RepairReport};
+use crate::scenarios::Scenario;
+use mpr_sdn::topology::{NodeRef, Topology};
+use mpr_sdn::{CtrlFaults, FaultPlan, LinkFault, SwitchCrash};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A family of fault schedules the harness knows how to randomize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// One or two links held down for a contiguous window.
+    LinkOutage,
+    /// A link flapping up and down through the run.
+    LinkFlap,
+    /// A switch losing its flow table and going dark, possibly twice.
+    SwitchCrash,
+    /// Control-channel misbehavior: drop, duplicate, delay, reorder.
+    CtrlChaos,
+}
+
+impl FaultClass {
+    /// Every class, in sweep order.
+    pub const ALL: [FaultClass; 4] =
+        [FaultClass::LinkOutage, FaultClass::LinkFlap, FaultClass::SwitchCrash, FaultClass::CtrlChaos];
+
+    /// Stable display name (used in tables and artifact keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::LinkOutage => "link-outage",
+            FaultClass::LinkFlap => "link-flap",
+            FaultClass::SwitchCrash => "switch-crash",
+            FaultClass::CtrlChaos => "ctrl-chaos",
+        }
+    }
+}
+
+/// Every undirected link of `topology`, in a deterministic (sorted) order.
+/// Walks switch ports only — host-to-host links do not exist — and keeps
+/// each link once under `NodeRef`'s `Ord`.
+pub fn all_links(topology: &Topology) -> Vec<(NodeRef, NodeRef)> {
+    let mut links = Vec::new();
+    for &s in &topology.switches {
+        let a = NodeRef::Switch(s);
+        for port in topology.ports(a) {
+            if let Some((b, _)) = topology.peer(a, port) {
+                let link = if a <= b { (a, b) } else { (b, a) };
+                links.push(link);
+            }
+        }
+    }
+    links.sort();
+    links.dedup();
+    links
+}
+
+/// Expand `(class, seed)` into one concrete schedule for `topology`.
+/// Deterministic: the same inputs always yield the same plan. Times are
+/// chosen inside the first ~200 simulated ticks, which covers the
+/// scenario workloads (each injection restarts the clock's event cascade,
+/// so early windows hit real traffic).
+pub fn random_plan(class: FaultClass, seed: u64, topology: &Topology) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let links = all_links(topology);
+    let switches: Vec<i64> = topology.switches.iter().copied().collect();
+    let mut plan = FaultPlan { seed, ..FaultPlan::default() };
+    match class {
+        FaultClass::LinkOutage => {
+            let n = 1 + (rng.gen_range(0..2) as usize).min(links.len().saturating_sub(1));
+            for k in 0..n {
+                let (a, b) = links[(rng.gen_range(0..links.len() as u64) as usize + k) % links.len()];
+                let from = rng.gen_range(0..120u64);
+                let len = rng.gen_range(10..160u64);
+                plan.links.push(LinkFault::down(a, b, from, from + len));
+            }
+        }
+        FaultClass::LinkFlap => {
+            let (a, b) = links[rng.gen_range(0..links.len() as u64) as usize];
+            let from = rng.gen_range(0..40u64);
+            let period = rng.gen_range(2..20u64);
+            plan.links.push(LinkFault::flap(a, b, from, from + rng.gen_range(80..240u64), period));
+        }
+        FaultClass::SwitchCrash => {
+            let sw = switches[rng.gen_range(0..switches.len() as u64) as usize];
+            let at = rng.gen_range(0..100u64);
+            let down_for = rng.gen_range(10..120u64);
+            plan.crashes.push(SwitchCrash { switch: sw, at, down_for });
+            if rng.gen_range(0..2u64) == 1 && switches.len() > 1 {
+                let sw2 = switches[rng.gen_range(0..switches.len() as u64) as usize];
+                let at2 = at + down_for + rng.gen_range(5..60u64);
+                plan.crashes.push(SwitchCrash { switch: sw2, at: at2, down_for: rng.gen_range(10..80u64) });
+            }
+        }
+        FaultClass::CtrlChaos => {
+            plan.ctrl = CtrlFaults {
+                drop_chance: rng.gen_range(0..40u64) as f64 / 100.0,
+                dup_chance: rng.gen_range(0..30u64) as f64 / 100.0,
+                delay_chance: rng.gen_range(0..40u64) as f64 / 100.0,
+                delay_min: 1,
+                delay_max: rng.gen_range(1..12u64),
+                reorder: rng.gen_range(0..2u64) == 1,
+            };
+        }
+    }
+    plan
+}
+
+/// One `(scenario, class, seed)` probe of the repair loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosOutcome {
+    /// Scenario id ("Q1").
+    pub scenario: String,
+    /// The fault class swept.
+    pub class: FaultClass,
+    /// The seed that expanded into the plan.
+    pub seed: u64,
+    /// The concrete schedule that ran.
+    pub plan: FaultPlan,
+    /// The loop completed and generated candidates.
+    pub recovered: bool,
+    /// Candidates generated (0 when the loop errored).
+    pub generated: usize,
+    /// Candidates accepted by backtesting under the faulty network.
+    pub accepted: usize,
+    /// The candidate search hit its time budget and degraded.
+    pub search_timed_out: bool,
+    /// The loop's error (or escaped-panic payload) when not recovered.
+    pub error: Option<String>,
+}
+
+/// Run the full diagnose → repair → backtest loop on `scenario` with
+/// `plan` installed in its simulator config. Panics anywhere inside the
+/// loop are contained here (the chaos harness must outlive what it
+/// probes) and reported as a non-recovery with the panic payload.
+pub fn run_under_plan(scenario: &Scenario, plan: &FaultPlan) -> ChaosOutcome {
+    let mut s = scenario.clone();
+    s.sim.faults = plan.clone();
+    let result: Result<Result<RepairReport, String>, String> =
+        catch_unwind(AssertUnwindSafe(|| try_repair_scenario(&s))).map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|m| (*m).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into())
+        });
+    match result {
+        Ok(Ok(report)) => ChaosOutcome {
+            scenario: scenario.id.clone(),
+            class: FaultClass::CtrlChaos, // overwritten by the sweep; meaningless alone
+            seed: plan.seed,
+            plan: plan.clone(),
+            recovered: report.generated() > 0,
+            generated: report.generated(),
+            accepted: report.accepted_count(),
+            search_timed_out: report.search_timed_out,
+            error: (report.generated() == 0).then(|| "no candidates generated".into()),
+        },
+        Ok(Err(e)) => failure(scenario, plan, format!("loop error: {e}")),
+        Err(panic) => failure(scenario, plan, format!("escaped panic: {panic}")),
+    }
+}
+
+fn failure(scenario: &Scenario, plan: &FaultPlan, error: String) -> ChaosOutcome {
+    ChaosOutcome {
+        scenario: scenario.id.clone(),
+        class: FaultClass::CtrlChaos,
+        seed: plan.seed,
+        plan: plan.clone(),
+        recovered: false,
+        generated: 0,
+        accepted: 0,
+        search_timed_out: false,
+        error: Some(error),
+    }
+}
+
+/// The result of a sweep: one [`ChaosOutcome`] per
+/// `(scenario, class, seed)` triple, in sweep order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// All probe outcomes.
+    pub outcomes: Vec<ChaosOutcome>,
+}
+
+impl ChaosReport {
+    /// Outcomes the loop did not recover from.
+    pub fn survivors(&self) -> Vec<&ChaosOutcome> {
+        self.outcomes.iter().filter(|o| !o.recovered).collect()
+    }
+
+    /// `(recovered, total)` for one fault class across the whole sweep.
+    pub fn recovery_rate(&self, class: FaultClass) -> (usize, usize) {
+        let of_class: Vec<_> = self.outcomes.iter().filter(|o| o.class == class).collect();
+        (of_class.iter().filter(|o| o.recovered).count(), of_class.len())
+    }
+
+    /// Plain-text recovery table by fault class (EXPERIMENTS.md shape).
+    pub fn render_table(&self) -> String {
+        let mut out = format!("{:<14} {:>10} {:>7} {:>9}\n", "fault class", "recovered", "total", "rate");
+        for class in FaultClass::ALL {
+            let (rec, total) = self.recovery_rate(class);
+            if total == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<14} {:>10} {:>7} {:>8.0}%\n",
+                class.name(),
+                rec,
+                total,
+                rec as f64 / total as f64 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Sweep `classes × seeds` over each scenario, running the full repair
+/// loop under every expanded schedule. Deterministic: outcomes come back
+/// in `(scenario, class, seed)` iteration order and the same inputs give
+/// the same report.
+pub fn sweep(scenarios: &[Scenario], classes: &[FaultClass], seeds: &[u64]) -> ChaosReport {
+    let mut outcomes = Vec::with_capacity(scenarios.len() * classes.len() * seeds.len());
+    for scenario in scenarios {
+        for &class in classes {
+            for &seed in seeds {
+                let plan = random_plan(class, seed, &scenario.topology);
+                let mut outcome = run_under_plan(scenario, &plan);
+                outcome.class = class;
+                outcome.seed = seed;
+                outcomes.push(outcome);
+            }
+        }
+    }
+    ChaosReport { outcomes }
+}
+
+/// Greedy delta debugging over a failing plan's components: drop each
+/// link fault, each crash, and each control-channel knob in turn; keep
+/// the removal whenever `fails` still holds without it. Loops to a
+/// fixpoint so later removals can enable earlier ones. The result is the
+/// smallest schedule (under this reduction order) that still breaks the
+/// predicate — the form worth pinning as a regression scenario.
+pub fn minimize_with(plan: &FaultPlan, fails: impl Fn(&FaultPlan) -> bool) -> FaultPlan {
+    let mut current = plan.clone();
+    loop {
+        let mut shrunk = false;
+        // Link faults, one at a time.
+        for i in (0..current.links.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.links.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+            }
+        }
+        // Crashes, one at a time.
+        for i in (0..current.crashes.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.crashes.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+            }
+        }
+        // Control-channel knobs, one at a time.
+        if !current.ctrl.is_noop() {
+            let zeroed: [(&str, fn(&mut CtrlFaults)); 4] = [
+                ("drop", |c| c.drop_chance = 0.0),
+                ("dup", |c| c.dup_chance = 0.0),
+                ("delay", |c| c.delay_chance = 0.0),
+                ("reorder", |c| c.reorder = false),
+            ];
+            for (_, zero) in zeroed {
+                let mut candidate = current.clone();
+                zero(&mut candidate.ctrl);
+                if candidate != current && fails(&candidate) {
+                    current = candidate;
+                    shrunk = true;
+                }
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// [`minimize_with`] against the real repair loop: shrink `plan` while
+/// the loop still fails to recover on `scenario`.
+pub fn minimize(scenario: &Scenario, plan: &FaultPlan) -> FaultPlan {
+    minimize_with(plan, |p| !run_under_plan(scenario, p).recovered)
+}
+
+/// A pinned chaos schedule: a scenario plus the exact plan, re-run by the
+/// CI `chaos` job forever with its classified outcome frozen.
+pub struct RegressionCase {
+    /// Stable name (artifact key).
+    pub name: &'static str,
+    /// The scenario the schedule runs against.
+    pub scenario: Scenario,
+    /// The pinned schedule.
+    pub plan: FaultPlan,
+    /// The frozen classification: `true` pins "the loop recovers",
+    /// `false` pins "the loop degrades cleanly to a classified
+    /// non-recovery" (known-unrecoverable schedules — the loop must still
+    /// complete without a panic and record why it produced nothing).
+    pub expect_recovered: bool,
+}
+
+/// The pinned regression suite: the nastiest schedules the sweeps have
+/// produced, minimized and frozen. The recoverable ones each provoked a
+/// distinct degraded path while the subsystem was being built — a switch
+/// dark through the whole diagnosis window, a flapping first-hop link, a
+/// lossy reordering control channel — and the loop must keep recovering
+/// from all of them. The unrecoverable ones are genuine survivors of the
+/// 320-probe sweep, shrunk by [`minimize`]: kill the ingress link for the
+/// whole workload and no packet ever enters the network, so there is no
+/// provenance to repair from — the loop must say so instead of dying.
+pub fn regression_cases() -> Vec<RegressionCase> {
+    let q1 = Scenario::q1_copy_paste();
+    let fig7 = Scenario::fig7_harmful_entry();
+    let q2 = Scenario::q2_forwarding_error();
+    let q4 = Scenario::q4_forgotten_packets();
+    vec![
+        RegressionCase {
+            name: "q1-switch2-dark-through-diagnosis",
+            scenario: q1.clone(),
+            plan: FaultPlan {
+                seed: 7,
+                crashes: vec![SwitchCrash { switch: 2, at: 0, down_for: 400 }],
+                ..FaultPlan::default()
+            },
+            expect_recovered: true,
+        },
+        RegressionCase {
+            name: "q1-first-hop-flap",
+            scenario: q1,
+            plan: FaultPlan {
+                seed: 11,
+                links: vec![LinkFault::flap(
+                    NodeRef::Switch(1),
+                    NodeRef::Switch(2),
+                    0,
+                    300,
+                    5,
+                )],
+                ..FaultPlan::default()
+            },
+            expect_recovered: true,
+        },
+        RegressionCase {
+            name: "fig7-lossy-reordering-ctrl",
+            scenario: fig7,
+            plan: FaultPlan {
+                seed: 13,
+                ctrl: CtrlFaults {
+                    drop_chance: 0.5,
+                    dup_chance: 0.2,
+                    delay_chance: 0.3,
+                    delay_min: 1,
+                    delay_max: 9,
+                    reorder: true,
+                },
+                ..FaultPlan::default()
+            },
+            expect_recovered: true,
+        },
+        RegressionCase {
+            name: "q4-double-crash",
+            scenario: q4.clone(),
+            plan: FaultPlan {
+                seed: 17,
+                crashes: vec![
+                    SwitchCrash { switch: 1, at: 10, down_for: 60 },
+                    SwitchCrash { switch: 2, at: 80, down_for: 60 },
+                ],
+                ..FaultPlan::default()
+            },
+            expect_recovered: true,
+        },
+        // Genuine sweep survivors (minimized): with the INTERNET ingress
+        // link dead for the full workload, no packet ever reaches a
+        // switch, no PacketIn reaches the controller, and the provenance
+        // forest is empty — there is nothing to diagnose. Sweep origin:
+        // link-outage seed 4.
+        RegressionCase {
+            name: "q2-ingress-dead-whole-run",
+            scenario: q2.clone(),
+            plan: FaultPlan {
+                seed: 4,
+                links: vec![LinkFault::down(NodeRef::Switch(1), NodeRef::Host(100), 0, 146)],
+                ..FaultPlan::default()
+            },
+            expect_recovered: false,
+        },
+        RegressionCase {
+            name: "q4-ingress-dead-whole-run",
+            scenario: q4,
+            plan: FaultPlan {
+                seed: 4,
+                links: vec![LinkFault::down(NodeRef::Switch(1), NodeRef::Host(100), 0, 146)],
+                ..FaultPlan::default()
+            },
+            expect_recovered: false,
+        },
+        // Sweep survivor (minimized from ctrl-chaos seed 1): a control
+        // channel dropping ~a third of replies and delaying a sixth
+        // starves Q2's diagnosis of the specific PacketIn its symptom
+        // query needs. The loop must classify this, not die on it.
+        RegressionCase {
+            name: "q2-lossy-delaying-ctrl",
+            scenario: q2,
+            plan: FaultPlan {
+                seed: 1,
+                ctrl: CtrlFaults {
+                    drop_chance: 0.36,
+                    dup_chance: 0.06,
+                    delay_chance: 0.17,
+                    delay_min: 1,
+                    delay_max: 8,
+                    reorder: false,
+                },
+                ..FaultPlan::default()
+            },
+            expect_recovered: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_sdn::topology::fig1;
+
+    #[test]
+    fn plans_are_deterministic_per_class_and_seed() {
+        let topo = fig1();
+        for class in FaultClass::ALL {
+            for seed in 0..16 {
+                assert_eq!(
+                    random_plan(class, seed, &topo),
+                    random_plan(class, seed, &topo),
+                    "{} seed {seed} not deterministic",
+                    class.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_differ_across_seeds() {
+        let topo = fig1();
+        let distinct: std::collections::BTreeSet<String> = (0..8)
+            .map(|s| format!("{:?}", random_plan(FaultClass::SwitchCrash, s, &topo)))
+            .collect();
+        assert!(distinct.len() > 4, "seeds barely vary the plan: {}", distinct.len());
+    }
+
+    #[test]
+    fn every_class_produces_a_nonempty_plan() {
+        let topo = fig1();
+        for class in FaultClass::ALL {
+            let plan = random_plan(class, 3, &topo);
+            assert!(!plan.is_empty(), "{} expanded to an empty plan", class.name());
+        }
+    }
+
+    #[test]
+    fn all_links_enumerates_fig1_in_sorted_order() {
+        let links = all_links(&fig1());
+        // fig1: 3 switch-switch + 4 host attachments = 7 undirected links.
+        assert_eq!(links.len(), 7);
+        let mut sorted = links.clone();
+        sorted.sort();
+        assert_eq!(links, sorted);
+    }
+
+    #[test]
+    fn minimize_with_shrinks_to_the_failing_core() {
+        // Synthetic predicate: the failure needs the switch-2 crash, and
+        // only that. Everything else must be shaved off.
+        let topo = fig1();
+        let mut plan = random_plan(FaultClass::CtrlChaos, 5, &topo);
+        plan.crashes.push(SwitchCrash { switch: 2, at: 3, down_for: 50 });
+        plan.crashes.push(SwitchCrash { switch: 3, at: 60, down_for: 20 });
+        plan.links.push(LinkFault::down(NodeRef::Switch(1), NodeRef::Switch(2), 5, 25));
+        let fails = |p: &FaultPlan| p.crashes.iter().any(|c| c.switch == 2);
+        let min = minimize_with(&plan, fails);
+        assert_eq!(min.crashes, vec![SwitchCrash { switch: 2, at: 3, down_for: 50 }]);
+        assert!(min.links.is_empty());
+        assert!(min.ctrl.is_noop());
+    }
+}

@@ -81,11 +81,17 @@ pub struct SearchBudget {
     pub max_candidates: usize,
     /// Per-selection cap on enumerated replacement constants.
     pub consts_per_site: usize,
+    /// Wall-clock deadline for the exploration, in milliseconds. `0`
+    /// means unlimited. When the deadline fires, the search degrades
+    /// gracefully: whatever candidates have been generated so far are
+    /// ranked and returned (best-partial, never an error) — §3.5's
+    /// "until the operator's patience runs out", made literal.
+    pub time_budget_ms: u64,
 }
 
 impl Default for SearchBudget {
     fn default() -> Self {
-        SearchBudget { max_cost: 7, max_candidates: 14, consts_per_site: 4 }
+        SearchBudget { max_cost: 7, max_candidates: 14, consts_per_site: 4, time_budget_ms: 0 }
     }
 }
 

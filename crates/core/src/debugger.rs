@@ -76,6 +76,9 @@ pub struct RepairReport {
     pub trees: u64,
     /// Explorer counters.
     pub pools_solved: u64,
+    /// The candidate search hit [`crate::cost::SearchBudget::time_budget_ms`]
+    /// and degraded to the best partial candidate set.
+    pub search_timed_out: bool,
 }
 
 impl RepairReport {
@@ -185,9 +188,14 @@ impl Debugger {
     }
 
     /// The full §2 loop: diagnose, generate, backtest, rank.
-    pub fn diagnose_and_repair(&mut self) -> RepairReport {
-        let (world, baseline, mut replay_time, history_time) =
-            self.observe().expect("scenario must run");
+    ///
+    /// Fails (with a description, never a panic) only when the scenario
+    /// itself cannot run — a program that does not compile, a codec that
+    /// cannot seed the controller. Degraded-but-running conditions (a
+    /// timed-out search, a candidate whose replay dies) surface inside
+    /// the report instead.
+    pub fn diagnose_and_repair(&mut self) -> Result<RepairReport, String> {
+        let (world, baseline, mut replay_time, history_time) = self.observe()?;
 
         // --- candidate generation -------------------------------------
         let t_gen = Instant::now();
@@ -266,7 +274,7 @@ impl Debugger {
                 .then(outcomes[a].ks.d.partial_cmp(&outcomes[b].ks.d).unwrap_or(std::cmp::Ordering::Equal))
         });
 
-        RepairReport {
+        Ok(RepairReport {
             scenario: self.scenario.id.clone(),
             query: self.scenario.query.clone(),
             outcomes,
@@ -280,7 +288,8 @@ impl Debugger {
             baseline,
             trees: stats.trees,
             pools_solved: stats.pools_solved,
-        }
+            search_timed_out: stats.timed_out,
+        })
     }
 
     /// Backtest every candidate; `None` marks candidates whose patched
@@ -397,9 +406,21 @@ fn derivations_from_world(world: &World, culprit: &Tuple) -> Vec<DerivationRecor
     records
 }
 
-/// Convenience wrapper: scenario in, report out.
-pub fn repair_scenario(scenario: &Scenario) -> RepairReport {
+/// Convenience wrapper: scenario in, report out. Fallible variant for
+/// callers (like the chaos harness) that must survive broken scenarios.
+pub fn try_repair_scenario(scenario: &Scenario) -> Result<RepairReport, String> {
     Debugger::for_scenario(scenario).diagnose_and_repair()
+}
+
+/// Convenience wrapper: scenario in, report out. Panics if the scenario
+/// itself cannot run — fine for the curated q1–q5/fig7 scenarios the
+/// tests and benches drive; use [`try_repair_scenario`] for anything
+/// generated.
+pub fn repair_scenario(scenario: &Scenario) -> RepairReport {
+    match try_repair_scenario(scenario) {
+        Ok(r) => r,
+        Err(e) => panic!("scenario {} failed to run: {e}", scenario.id),
+    }
 }
 
 #[cfg(test)]
@@ -478,10 +499,10 @@ mod tests {
         let scenario = Scenario::q1_copy_paste();
         let mut d1 = Debugger::for_scenario(&scenario);
         d1.use_mqo = true;
-        let r1 = d1.diagnose_and_repair();
+        let r1 = d1.diagnose_and_repair().unwrap();
         let mut d2 = Debugger::for_scenario(&scenario);
         d2.use_mqo = false;
-        let r2 = d2.diagnose_and_repair();
+        let r2 = d2.diagnose_and_repair().unwrap();
         let a1: Vec<String> = r1
             .accepted
             .iter()

@@ -94,6 +94,22 @@ pub struct ExploreStats {
     /// Nanoseconds spent in constraint solving (pool solves and
     /// feasibility enumeration) — the Fig. 9a "Constraint solving" slice.
     pub solver_ns: u128,
+    /// The search hit [`SearchBudget::time_budget_ms`] and returned the
+    /// best partial candidate set instead of the full exploration.
+    pub timed_out: bool,
+}
+
+/// The exploration deadline, if the budget sets one.
+fn deadline_of(budget: &SearchBudget) -> Option<std::time::Instant> {
+    (budget.time_budget_ms > 0).then(|| {
+        std::time::Instant::now() + std::time::Duration::from_millis(budget.time_budget_ms)
+    })
+}
+
+/// `>=` so the smallest budget (1 ms) expires as soon as the clock
+/// reaches the deadline, regardless of clock granularity.
+fn expired(deadline: &Option<std::time::Instant>) -> bool {
+    deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 
 /// Generate repair candidates for a *missing* tuple.
@@ -101,6 +117,7 @@ pub fn generate_missing(world: &World, goal: &Pattern) -> (Vec<Candidate>, Explo
     let mut stats = ExploreStats::default();
     let mut out: Vec<Candidate> = Vec::new();
     let domain = world.domain(goal);
+    let deadline = deadline_of(&world.budget);
 
     // (1) The base-tuple insertion repair: make the tuple appear directly.
     if let Some(tuple) = pattern_tuple(goal) {
@@ -118,13 +135,23 @@ pub fn generate_missing(world: &World, goal: &Pattern) -> (Vec<Candidate>, Explo
     }
 
     // (2) Fork one tree per rule that derives the goal table (§3.3).
+    // Best-partial degradation: when the deadline fires mid-search, stop
+    // forking trees and rank whatever has been generated so far.
     for rule in world.program.rules_for_table(&goal.table) {
+        if expired(&deadline) {
+            stats.timed_out = true;
+            break;
+        }
         explore_rule(world, goal, rule, &domain, &mut out, &mut stats);
     }
 
     // (3) Donor rules: head re-targeting and copy-with-new-head (the Q4
     // repairs: "changing/copying the head of r5 to packetOut(...)").
     for rule in &world.program.rules {
+        if expired(&deadline) {
+            stats.timed_out = true;
+            break;
+        }
         if rule.head.table == goal.table || rule.head.args.len() != goal.args.len() {
             continue;
         }
@@ -870,7 +897,12 @@ pub fn generate_existing(
     let mut stats = ExploreStats::default();
     let mut out = Vec::new();
     let domain = world.domain(&Pattern::exact(culprit));
+    let deadline = deadline_of(&world.budget);
     for d in derivations {
+        if expired(&deadline) {
+            stats.timed_out = true;
+            break;
+        }
         let Some(rule) = world.program.rule(&d.rule) else {
             continue;
         };

@@ -23,10 +23,14 @@
 //!   and multi-query optimization (§4.4), including the Fig. 9a phase
 //!   timings;
 //! - [`scenarios`] — the five §5.3 case studies plus the Fig. 9c / Fig. 10
-//!   scaling helpers.
+//!   scaling helpers;
+//! - [`chaos`] — the fault-schedule chaos search: seeded random
+//!   [`mpr_sdn::FaultPlan`]s swept over the scenarios, survivors minimized
+//!   into pinned regression cases.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cost;
 pub mod debugger;
 pub mod explore;
@@ -35,8 +39,9 @@ pub mod metamodel;
 pub mod repair;
 pub mod scenarios;
 
+pub use chaos::{random_plan, ChaosOutcome, ChaosReport, FaultClass};
 pub use cost::{CostModel, SearchBudget};
-pub use debugger::{repair_scenario, CandidateOutcome, Debugger, PhaseTimings, RepairReport};
+pub use debugger::{repair_scenario, try_repair_scenario, CandidateOutcome, Debugger, PhaseTimings, RepairReport};
 pub use explore::{generate_existing, generate_missing, DerivationRecord, ExploreStats, World};
 pub use repair::{Candidate, Repair};
 pub use scenarios::{Effect, Scenario, Symptom};

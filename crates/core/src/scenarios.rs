@@ -403,7 +403,7 @@ impl Scenario {
             }),
             effect: Effect::DeliversAtLeast { host: fig1_hosts::H1, min: 40 },
             reference_fix: "Copying r5 and replacing head with PacketOut".into(),
-            budget: SearchBudget { max_cost: 7, max_candidates: 13, consts_per_site: 3 },
+            budget: SearchBudget { max_cost: 7, max_candidates: 13, consts_per_site: 3, ..SearchBudget::default() },
             cost: CostModel::default(),
             sim: SimConfig::default(),
             language: Language::NDlog,
@@ -474,7 +474,7 @@ impl Scenario {
             }),
             effect: Effect::DeliversOn { host: fig1_hosts::H1, port: 80 },
             reference_fix: "Changing Lip := 0 in f2 to Lip := Sip".into(),
-            budget: SearchBudget { max_cost: 7, max_candidates: 9, consts_per_site: 2 },
+            budget: SearchBudget { max_cost: 7, max_candidates: 9, consts_per_site: 2, ..SearchBudget::default() },
             cost: CostModel::default(),
             sim: SimConfig::default(),
             language: Language::NDlog,

@@ -236,10 +236,24 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// Runtime failure (resource exhaustion — evaluation itself is total).
+///
+/// Every variant is a *budget*, not a corruption: the engine stays usable
+/// for inspection after returning one (the frame stack is balanced, the
+/// store and log are intact), callers just must not assume the fixpoint
+/// completed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// The derivation budget was exceeded (runaway recursion guard).
     DerivationLimit(u64),
+    /// The batch fixpoint exceeded [`Options::max_rounds`] semi-naive
+    /// rounds in one externally driven step.
+    RoundLimit(u64),
+    /// The fixpoint exceeded the wall-clock budget
+    /// ([`Options::time_budget`]) in one externally driven step.
+    TimeBudget {
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
     /// Arity of an inserted tuple does not match its table's prior use.
     ArityMismatch {
         /// Table name.
@@ -255,6 +269,10 @@ impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuntimeError::DerivationLimit(n) => write!(f, "derivation limit exceeded ({n})"),
+            RuntimeError::RoundLimit(n) => write!(f, "fixpoint round limit exceeded ({n})"),
+            RuntimeError::TimeBudget { budget_ms } => {
+                write!(f, "fixpoint wall-clock budget exceeded ({budget_ms} ms)")
+            }
             RuntimeError::ArityMismatch { table, expected, got } => {
                 write!(f, "tuple arity mismatch for `{table}`: expected {expected}, got {got}")
             }
@@ -280,6 +298,22 @@ pub struct Options {
     /// sequential batch loop, since thread handoff costs more than the
     /// round. Irrelevant to the other strategies.
     pub shard_min_round: usize,
+    /// Hard cap on semi-naive rounds per externally driven step (batch
+    /// strategies only — the pipelined loop is already bounded by
+    /// [`Options::max_derivations`], since its queue only grows through
+    /// counted firings). Surfaced as [`RuntimeError::RoundLimit`].
+    pub max_rounds: u64,
+    /// Wall-clock budget per externally driven step, surfaced as
+    /// [`RuntimeError::TimeBudget`]. `None` (the default) disables the
+    /// check entirely; note that a time budget makes *whether* a fixpoint
+    /// completes machine-dependent, so determinism suites must leave it
+    /// off. Checked at round boundaries (batch) and every 256 deltas
+    /// (pipelined), so overruns are bounded by one round's work.
+    pub time_budget: Option<std::time::Duration>,
+    /// Fault-injection hook for the robustness tests: every shard worker
+    /// panics immediately, forcing the contained-panic fallback path.
+    #[doc(hidden)]
+    pub inject_worker_panic: bool,
 }
 
 impl Default for Options {
@@ -290,6 +324,9 @@ impl Default for Options {
             unique_seed: 1000,
             strategy: EvalStrategy::default(),
             shard_min_round: 16,
+            max_rounds: 1_000_000,
+            time_budget: None,
+            inject_worker_panic: false,
         }
     }
 }
@@ -350,7 +387,7 @@ pub struct Engine {
     pub(crate) triggers: HashMap<String, std::sync::Arc<Vec<(usize, usize)>>>,
     store: Store,
     pub(crate) log: ExecLog,
-    opts: Options,
+    pub(crate) opts: Options,
     funcs: CountingFuncs,
     time: Time,
     next_tid: TupleId,
@@ -380,6 +417,10 @@ pub struct Engine {
     pub(crate) par_safe: bool,
     /// Copied from [`Options::shard_min_round`].
     pub(crate) shard_min_round: usize,
+    /// Shard workers whose enumeration panicked and was contained (the
+    /// affected units were recomputed sequentially). Atomic because the
+    /// workers only hold `&Engine`.
+    pub(crate) shard_panics: std::sync::atomic::AtomicU64,
 }
 
 /// Does `e` contain any function call? Calls in *selections* would have to
@@ -538,6 +579,7 @@ impl Engine {
             deltas: DeltaTracker::default(),
             par_safe,
             shard_min_round,
+            shard_panics: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -576,6 +618,13 @@ impl Engine {
     /// Total rule firings so far.
     pub fn total_derivations(&self) -> u64 {
         self.total_derivations
+    }
+
+    /// Shard workers whose enumeration panicked and was contained. Each
+    /// contained panic costs only the recomputation of that worker's units
+    /// on the sequential path; the fixpoint is unaffected.
+    pub fn shard_worker_panics(&self) -> u64 {
+        self.shard_panics.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// `true` if the exact tuple is currently live.
@@ -909,7 +958,24 @@ impl Engine {
         mut queue: VecDeque<(TupleId, Tuple)>,
         result: &mut StepResult,
     ) -> Result<(), RuntimeError> {
+        // The step budget is [`Options::max_derivations`] (this queue only
+        // grows through counted firings); the wall-clock budget is checked
+        // here, every 256 deltas, so an overrun costs at most a few joins.
+        let deadline = self
+            .opts
+            .time_budget
+            .map(|b| (std::time::Instant::now() + b, b.as_millis() as u64));
+        let mut steps: u64 = 0;
         while let Some((tid, tuple)) = queue.pop_front() {
+            steps += 1;
+            if let Some((d, budget_ms)) = deadline {
+                // Checked at steps 1, 257, …: the first delta validates the
+                // deadline cheaply (a zero budget fails deterministically,
+                // `>=` regardless of clock granularity), then every 256.
+                if steps & 0xFF == 1 && std::time::Instant::now() >= d {
+                    return Err(RuntimeError::TimeBudget { budget_ms });
+                }
+            }
             // A tuple may have died while queued (replacement/cascade).
             let rec = &self.log.tuples[tid as usize];
             let still_relevant = rec.kind == TupleKind::Event || rec.disappear.is_none();
@@ -1137,7 +1203,10 @@ impl Engine {
         if !sel_done.iter().all(|&d| d) {
             return Ok(());
         }
-        let spec = self.rules[rule_idx].agg.clone().unwrap();
+        // Only aggregate triggers dispatch here; stay total regardless.
+        let Some(spec) = self.rules[rule_idx].agg.clone() else {
+            return Ok(());
+        };
         let Some(value) = env.get(&spec.value_var).cloned() else {
             return Ok(());
         };
@@ -1207,7 +1276,9 @@ impl Engine {
         queue: &mut VecDeque<(TupleId, Tuple)>,
         result: &mut StepResult,
     ) -> Result<(), RuntimeError> {
-        let spec = self.rules[rule_idx].agg.clone().unwrap();
+        let Some(spec) = self.rules[rule_idx].agg.clone() else {
+            return Ok(());
+        };
         let g = match self.agg_groups.get(&(rule_idx, group.clone())) {
             Some(g) => g,
             None => return Ok(()),
@@ -1222,10 +1293,12 @@ impl Engine {
         let mut args: Vec<Value> = group[1..].to_vec();
         args.push(agg_value);
         let head = Tuple::new(table, loc, args);
-        if self.agg_groups[&(rule_idx, group.clone())].emitted.as_ref() == Some(&head) {
-            return Ok(()); // unchanged
+        match self.agg_groups.get_mut(&(rule_idx, group)) {
+            Some(g) if g.emitted.as_ref() == Some(&head) => return Ok(()), // unchanged
+            Some(g) => g.emitted = Some(head.clone()),
+            // The group was checked live above; stay total if it vanished.
+            None => return Ok(()),
         }
-        self.agg_groups.get_mut(&(rule_idx, group)).unwrap().emitted = Some(head.clone());
         self.total_derivations += 1;
         result.derivations += 1;
         if self.total_derivations > self.opts.max_derivations {

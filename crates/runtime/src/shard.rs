@@ -169,6 +169,7 @@ pub(crate) fn enumerate_round(
         buckets[shard_of(u.tuple, workers)].push(ui);
     }
     let mut enumerated: Vec<(UnitKey, Matches)> = Vec::with_capacity(units.len());
+    let inject_panic = e.opts.inject_worker_panic;
     std::thread::scope(|scope| {
         let units = &units;
         let handles: Vec<_> = buckets
@@ -176,18 +177,39 @@ pub(crate) fn enumerate_round(
             .filter(|b| !b.is_empty())
             .map(|bucket| {
                 scope.spawn(move || {
-                    bucket
-                        .iter()
-                        .map(|&ui| {
-                            let u = &units[ui];
-                            (u.key, enumerate_unit(ctx, u))
-                        })
-                        .collect::<Vec<_>>()
+                    // Enumeration is read-only, so a panicking worker can
+                    // poison nothing: contain it and let the bucket come
+                    // up empty. `AssertUnwindSafe` is justified because
+                    // the closure only *reads* through `ctx`/`units` and
+                    // its partial results are dropped on unwind.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected shard worker panic (Options::inject_worker_panic)");
+                        }
+                        bucket
+                            .iter()
+                            .map(|&ui| {
+                                let u = &units[ui];
+                                (u.key, enumerate_unit(ctx, u))
+                            })
+                            .collect::<Vec<_>>()
+                    }))
                 })
             })
             .collect();
         for h in handles {
-            enumerated.extend(h.join().expect("shard worker panicked"));
+            // Graceful degradation instead of the old process abort: a
+            // worker that panicked (or whose thread died before joining)
+            // simply contributes no precomputed units. `take` then misses
+            // those keys and the apply loop recomputes each one through
+            // the sequential `fire_batch`, so the fixpoint — and the
+            // execution log — stay bit-identical; only wall-clock suffers.
+            match h.join() {
+                Ok(Ok(chunk)) => enumerated.extend(chunk),
+                Ok(Err(_)) | Err(_) => {
+                    e.shard_panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
         }
     });
     // The apply loop consumes keys in increasing order; restore it across

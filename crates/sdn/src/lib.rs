@@ -12,6 +12,8 @@
 //! - [`topology`] — the Fig. 1 fixture and the Stanford-campus generator
 //!   (19 → 169 switches, Fig. 9c);
 //! - [`sim`] — the event-driven simulator with fault injection;
+//! - [`faults`] — seeded, deterministic fault plans (link outages/flaps,
+//!   switch crashes, control-channel drop/dup/reorder/delay);
 //! - [`controller`] — the [`controller::Controller`] trait, and
 //!   [`controller::NdlogController`] wiring an `mpr-runtime` engine to the
 //!   network through a [`controller::TupleCodec`].
@@ -19,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod faults;
 pub mod flowtable;
 pub mod packet;
 pub mod sim;
 pub mod topology;
 
 pub use controller::{Controller, CtrlMsg, NdlogController, NullController, PacketInMsg, PktArg, TupleCodec};
+pub use faults::{CtrlFaults, FaultPlan, LinkFault, SwitchCrash, Window};
 pub use flowtable::{Action, FlowEntry, FlowTable, Match};
 pub use packet::{Field, Packet, Proto};
 pub use sim::{SimConfig, SimStats, Simulation};

@@ -7,11 +7,16 @@
 //! missed packet waits at the switch; unless the controller answers with a
 //! `PacketOut`, it is dropped — exactly the bug class of scenario Q4.
 //!
-//! Fault injection (packet drops with a deterministic RNG) is available for
-//! robustness testing, mirroring the `--drop-chance` options the smoltcp
-//! examples expose.
+//! Fault injection is available for robustness testing: a uniform
+//! `drop_chance` (mirroring the `--drop-chance` options the smoltcp
+//! examples expose) plus a scheduled [`FaultPlan`] — link outages and
+//! flaps, switch crashes with flow-table wipes, and control-channel
+//! drop/duplicate/reorder/delay. Both draw from seeded RNGs, and the
+//! plan uses its *own* stream, so every run is reproducible and an empty
+//! plan is bit-identical to no plan at all.
 
 use crate::controller::{Controller, CtrlMsg, PacketInMsg};
+use crate::faults::FaultPlan;
 use crate::flowtable::{Action, FlowTable};
 use crate::packet::Packet;
 use crate::topology::{NodeRef, Topology};
@@ -33,6 +38,9 @@ pub struct SimConfig {
     pub drop_chance: f64,
     /// RNG seed for fault injection.
     pub seed: u64,
+    /// Scheduled fault plan (empty by default: injects nothing, and a run
+    /// is bit-identical to one without the fault layer).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -43,12 +51,13 @@ impl Default for SimConfig {
             max_hops: 64,
             drop_chance: 0.0,
             seed: 7,
+            faults: FaultPlan::default(),
         }
     }
 }
 
 /// Counters collected during a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Packets injected.
     pub injected: u64,
@@ -66,6 +75,20 @@ pub struct SimStats {
     pub dropped_ttl: u64,
     /// Drops: fault injection.
     pub dropped_fault: u64,
+    /// Drops: packet emitted onto a link that was down per the fault plan.
+    pub dropped_link_down: u64,
+    /// Drops: packet arrived at a switch that was dark per the fault plan.
+    pub dropped_switch_down: u64,
+    /// Switch crashes applied (flow table wiped).
+    pub switch_crashes: u64,
+    /// Controller replies silently dropped by the fault plan.
+    pub ctrl_dropped: u64,
+    /// Controller replies duplicated by the fault plan.
+    pub ctrl_duplicated: u64,
+    /// Controller replies delivered late by the fault plan.
+    pub ctrl_delayed: u64,
+    /// Controller reply batches reversed by the fault plan.
+    pub ctrl_reordered: u64,
     /// PacketIn messages sent to the controller.
     pub packet_ins: u64,
     /// FlowMods applied.
@@ -116,6 +139,39 @@ impl PartialOrd for Ev {
     }
 }
 
+/// A controller reply held back by the fault plan, waiting to be
+/// delivered. Shares the global `next_seq` counter with [`Ev`], so
+/// same-time ties between the packet and control queues break
+/// deterministically.
+#[derive(Debug, Clone)]
+struct CtrlEv {
+    time: u64,
+    seq: u64,
+    msg: CtrlMsg,
+    in_port: i64,
+    hops: u32,
+}
+
+impl PartialEq for CtrlEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for CtrlEv {}
+
+impl Ord for CtrlEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for CtrlEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The simulator. Owns the topology, per-switch flow tables and the
 /// controller.
 pub struct Simulation<C: Controller> {
@@ -125,7 +181,16 @@ pub struct Simulation<C: Controller> {
     controller: C,
     cfg: SimConfig,
     rng: StdRng,
+    /// Dedicated RNG stream for the fault plan (control-channel chances),
+    /// so enabling faults never perturbs the base `drop_chance` stream.
+    fault_rng: StdRng,
     queue: BinaryHeap<Ev>,
+    /// Controller replies delayed by the fault plan.
+    ctrl_queue: BinaryHeap<CtrlEv>,
+    /// Scheduled crashes sorted by instant; `next_crash` indexes the first
+    /// not yet applied (the wipe happens once, at the crash instant).
+    crash_schedule: Vec<crate::faults::SwitchCrash>,
+    next_crash: usize,
     next_seq: u64,
     clock: u64,
     /// Counters.
@@ -139,13 +204,20 @@ impl<C: Controller> Simulation<C> {
     pub fn new(topo: Topology, controller: C, cfg: SimConfig) -> Self {
         let tables = topo.switches.iter().map(|s| (*s, FlowTable::new())).collect();
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let fault_rng = StdRng::seed_from_u64(cfg.faults.seed);
+        let mut crash_schedule = cfg.faults.crashes.clone();
+        crash_schedule.sort_by_key(|c| (c.at, c.switch));
         Simulation {
             topo,
             tables,
             controller,
             cfg,
             rng,
+            fault_rng,
             queue: BinaryHeap::new(),
+            ctrl_queue: BinaryHeap::new(),
+            crash_schedule,
+            next_crash: 0,
             next_seq: 0,
             clock: 0,
             stats: SimStats::default(),
@@ -198,6 +270,12 @@ impl<C: Controller> Simulation<C> {
             return;
         };
         self.stats.injected += 1;
+        if !self.cfg.faults.is_empty()
+            && self.cfg.faults.link_down(NodeRef::Host(host), NodeRef::Switch(sw), self.clock)
+        {
+            self.stats.dropped_link_down += 1;
+            return;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Ev {
@@ -210,19 +288,55 @@ impl<C: Controller> Simulation<C> {
         });
     }
 
-    /// Run until the event queue drains. Returns the number of events
-    /// processed.
+    /// Run until both the packet queue and the delayed-control queue
+    /// drain. Returns the number of events processed.
     pub fn run(&mut self) -> u64 {
         let mut processed = 0;
-        while let Some(ev) = self.queue.pop() {
-            self.clock = self.clock.max(ev.time);
+        loop {
+            // Merge the two time-ordered queues; the shared `next_seq`
+            // counter breaks same-time ties deterministically.
+            let next_pkt = self.queue.peek().map(|e| (e.time, e.seq));
+            let next_ctrl = self.ctrl_queue.peek().map(|e| (e.time, e.seq));
+            let take_ctrl = match (next_pkt, next_ctrl) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(p), Some(c)) => c < p,
+            };
             processed += 1;
-            match ev.node {
-                NodeRef::Host(h) => self.arrive_host(h, ev.packet),
-                NodeRef::Switch(s) => self.arrive_switch(s, ev.port, ev.hops, ev.packet),
+            if take_ctrl {
+                let Some(ev) = self.ctrl_queue.pop() else { break };
+                self.clock = self.clock.max(ev.time);
+                self.apply_due_crashes();
+                let mut released = false;
+                self.deliver_ctrl(ev.msg, ev.in_port, ev.hops, &mut released);
+            } else {
+                let Some(ev) = self.queue.pop() else { break };
+                self.clock = self.clock.max(ev.time);
+                self.apply_due_crashes();
+                match ev.node {
+                    NodeRef::Host(h) => self.arrive_host(h, ev.packet),
+                    NodeRef::Switch(s) => self.arrive_switch(s, ev.port, ev.hops, ev.packet),
+                }
             }
         }
         processed
+    }
+
+    /// Wipe the flow table of every switch whose crash instant has been
+    /// reached. The wipe happens exactly once per crash; while the crash
+    /// window lasts, arriving packets are dropped by [`Self::arrive_switch`].
+    fn apply_due_crashes(&mut self) {
+        while let Some(c) = self.crash_schedule.get(self.next_crash) {
+            if c.at > self.clock {
+                break;
+            }
+            if let Some(t) = self.tables.get_mut(&c.switch) {
+                t.clear();
+            }
+            self.stats.switch_crashes += 1;
+            self.next_crash += 1;
+        }
     }
 
     fn arrive_host(&mut self, host: i64, packet: Packet) {
@@ -239,6 +353,10 @@ impl<C: Controller> Simulation<C> {
     }
 
     fn arrive_switch(&mut self, switch: i64, in_port: i64, hops: u32, packet: Packet) {
+        if !self.cfg.faults.is_empty() && self.cfg.faults.switch_down(switch, self.clock) {
+            self.stats.dropped_switch_down += 1;
+            return;
+        }
         if hops >= self.cfg.max_hops {
             self.stats.dropped_ttl += 1;
             return;
@@ -299,6 +417,12 @@ impl<C: Controller> Simulation<C> {
             self.stats.dropped_policy += 1;
             return;
         };
+        if !self.cfg.faults.is_empty()
+            && self.cfg.faults.link_down(NodeRef::Switch(switch), peer, self.clock)
+        {
+            self.stats.dropped_link_down += 1;
+            return;
+        }
         if self.cfg.drop_chance > 0.0 && self.rng.gen::<f64>() < self.cfg.drop_chance {
             self.stats.dropped_fault += 1;
             return;
@@ -320,21 +444,59 @@ impl<C: Controller> Simulation<C> {
         self.stats.packet_ins += 1;
         let msg = PacketInMsg { switch, in_port, packet };
         self.packet_in_log.push((self.clock, msg.clone()));
-        let replies = self.controller.on_packet_in(&msg);
+        let mut replies = self.controller.on_packet_in(&msg);
         self.clock += self.cfg.controller_latency;
+        let ctrl = self.cfg.faults.ctrl;
         let mut released = false;
-        for r in replies {
-            match r {
-                CtrlMsg::FlowMod { switch: sw, entry } => {
-                    self.stats.flow_mods += 1;
-                    if let Some(t) = self.tables.get_mut(&sw) {
-                        t.install(entry);
-                    }
+        if ctrl.is_noop() {
+            for r in replies {
+                self.deliver_ctrl(r, in_port, hops, &mut released);
+            }
+        } else {
+            if ctrl.reorder && replies.len() > 1 && self.fault_rng.gen::<f64>() < 0.5 {
+                replies.reverse();
+                self.stats.ctrl_reordered += 1;
+            }
+            for r in replies {
+                if ctrl.drop_chance > 0.0 && self.fault_rng.gen::<f64>() < ctrl.drop_chance {
+                    self.stats.ctrl_dropped += 1;
+                    continue;
                 }
-                CtrlMsg::PacketOut { switch: sw, packet: p, action } => {
-                    self.stats.packet_outs += 1;
-                    self.apply_actions(sw, in_port, hops, p, &[action.clone()]);
-                    released = true;
+                let copies = if ctrl.dup_chance > 0.0
+                    && self.fault_rng.gen::<f64>() < ctrl.dup_chance
+                {
+                    self.stats.ctrl_duplicated += 1;
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    if ctrl.delay_chance > 0.0
+                        && self.fault_rng.gen::<f64>() < ctrl.delay_chance
+                    {
+                        self.stats.ctrl_delayed += 1;
+                        let delay = if ctrl.delay_max > ctrl.delay_min {
+                            self.fault_rng.gen_range(ctrl.delay_min..=ctrl.delay_max)
+                        } else {
+                            ctrl.delay_min
+                        };
+                        // A delayed PacketOut still releases the buffered
+                        // packet, just late — don't count dropped_buffered.
+                        if matches!(r, CtrlMsg::PacketOut { .. }) {
+                            released = true;
+                        }
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.ctrl_queue.push(CtrlEv {
+                            time: self.clock + delay.max(1),
+                            seq,
+                            msg: r.clone(),
+                            in_port,
+                            hops,
+                        });
+                    } else {
+                        self.deliver_ctrl(r.clone(), in_port, hops, &mut released);
+                    }
                 }
             }
         }
@@ -344,6 +506,33 @@ impl<C: Controller> Simulation<C> {
             // here. The *flow entries* just installed will serve future
             // packets, not this one.
             self.stats.dropped_buffered += 1;
+        }
+    }
+
+    /// Deliver one controller reply to its switch. A reply addressed to a
+    /// switch that is dark per the fault plan is lost (the control
+    /// connection is down with everything else).
+    fn deliver_ctrl(&mut self, msg: CtrlMsg, in_port: i64, hops: u32, released: &mut bool) {
+        match msg {
+            CtrlMsg::FlowMod { switch: sw, entry } => {
+                if !self.cfg.faults.is_empty() && self.cfg.faults.switch_down(sw, self.clock) {
+                    self.stats.ctrl_dropped += 1;
+                    return;
+                }
+                self.stats.flow_mods += 1;
+                if let Some(t) = self.tables.get_mut(&sw) {
+                    t.install(entry);
+                }
+            }
+            CtrlMsg::PacketOut { switch: sw, packet: p, action } => {
+                if !self.cfg.faults.is_empty() && self.cfg.faults.switch_down(sw, self.clock) {
+                    self.stats.dropped_switch_down += 1;
+                    return;
+                }
+                self.stats.packet_outs += 1;
+                self.apply_actions(sw, in_port, hops, p, &[action]);
+                *released = true;
+            }
         }
     }
 }
@@ -480,6 +669,156 @@ mod tests {
             sim.stats.total_delivered()
         };
         assert_eq!(run(100), run(100));
+    }
+
+    /// Minimal reactive controller: on every miss, install `Output(1)` on
+    /// the missing switch and release the packet the same way. On fig1
+    /// that chains S1 → S2 → H1.
+    struct EchoController;
+
+    impl Controller for EchoController {
+        fn on_packet_in(&mut self, msg: &PacketInMsg) -> Vec<CtrlMsg> {
+            vec![
+                CtrlMsg::FlowMod {
+                    switch: msg.switch,
+                    entry: FlowEntry::new(10, Match::any(), vec![Action::Output(1)]),
+                },
+                CtrlMsg::PacketOut {
+                    switch: msg.switch,
+                    packet: msg.packet.clone(),
+                    action: Action::Output(1),
+                },
+            ]
+        }
+    }
+
+    #[test]
+    fn link_down_window_drops_then_recovers() {
+        use crate::faults::{FaultPlan, LinkFault};
+        let faults = FaultPlan {
+            links: vec![LinkFault::down(NodeRef::Switch(1), NodeRef::Switch(2), 0, 6)],
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig { faults, ..SimConfig::default() };
+        let mut sim = Simulation::new(fig1(), NullController, cfg);
+        sim.install_proactive_routes();
+        // First packet reaches S1 at t=5, inside the outage: dropped on
+        // the S1→S2 hop.
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.dropped_link_down, 1);
+        assert_eq!(sim.stats.total_delivered(), 0);
+        // Clock is past the window now: the link is back.
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 2));
+        sim.run();
+        assert_eq!(sim.stats.dropped_link_down, 1);
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H1), 1);
+    }
+
+    #[test]
+    fn switch_crash_wipes_table_and_drops_while_dark() {
+        use crate::faults::{FaultPlan, SwitchCrash};
+        let faults = FaultPlan {
+            crashes: vec![SwitchCrash { switch: 2, at: 0, down_for: 20 }],
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig { faults, ..SimConfig::default() };
+        let mut sim = Simulation::new(fig1(), NullController, cfg);
+        sim.install_proactive_routes();
+        let before = sim.tables[&2].len();
+        assert!(before > 0);
+        // Packet reaches S2 at t=10, inside the dark window.
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.switch_crashes, 1);
+        assert_eq!(sim.stats.dropped_switch_down, 1);
+        assert_eq!(sim.tables[&2].len(), 0, "crash wipes the flow table");
+        // After restart the table is empty: the next packet misses and,
+        // with a null controller, dies buffered — recovery is the
+        // controller's job, not the switch's.
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 2));
+        sim.run();
+        assert_eq!(sim.stats.dropped_switch_down, 1);
+        assert_eq!(sim.stats.dropped_buffered, 1);
+    }
+
+    #[test]
+    fn ctrl_drop_loses_flowmods_and_strands_buffered_packets() {
+        use crate::faults::{CtrlFaults, FaultPlan};
+        let faults = FaultPlan {
+            ctrl: CtrlFaults { drop_chance: 1.0, ..CtrlFaults::default() },
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig { faults, ..SimConfig::default() };
+        let mut sim = Simulation::new(fig1(), EchoController, cfg);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert_eq!(sim.stats.ctrl_dropped, 2, "FlowMod and PacketOut both lost");
+        assert_eq!(sim.stats.flow_mods, 0);
+        assert_eq!(sim.stats.dropped_buffered, 1);
+        assert_eq!(sim.stats.total_delivered(), 0);
+    }
+
+    #[test]
+    fn delayed_ctrl_messages_still_deliver() {
+        use crate::faults::{CtrlFaults, FaultPlan};
+        let faults = FaultPlan {
+            ctrl: CtrlFaults {
+                delay_chance: 1.0,
+                delay_min: 3,
+                delay_max: 9,
+                ..CtrlFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig { faults, ..SimConfig::default() };
+        let mut sim = Simulation::new(fig1(), EchoController, cfg);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        // Both switches punt; each punt's FlowMod + PacketOut arrive late
+        // but arrive: the packet still lands.
+        assert_eq!(sim.stats.ctrl_delayed, 4);
+        assert_eq!(sim.stats.delivered_to(fig1_hosts::H1), 1);
+        assert_eq!(sim.stats.dropped_buffered, 0);
+        assert_eq!(sim.stats.flow_mods, 2);
+    }
+
+    #[test]
+    fn duplicated_flowmods_are_idempotent() {
+        use crate::faults::{CtrlFaults, FaultPlan};
+        let faults = FaultPlan {
+            ctrl: CtrlFaults { dup_chance: 1.0, ..CtrlFaults::default() },
+            ..FaultPlan::default()
+        };
+        let cfg = SimConfig { faults, ..SimConfig::default() };
+        let mut sim = Simulation::new(fig1(), EchoController, cfg);
+        sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, 1));
+        sim.run();
+        assert!(sim.stats.ctrl_duplicated >= 2);
+        // Duplicate FlowMods re-install the same entry; duplicate
+        // PacketOuts emit an extra copy, which is at worst delivered twice.
+        assert!(sim.stats.delivered_to(fig1_hosts::H1) >= 1);
+    }
+
+    #[test]
+    fn empty_plan_matches_no_plan_bit_for_bit() {
+        // The fault layer disabled must not perturb anything — including
+        // the pre-existing drop_chance RNG stream.
+        let base = SimConfig { drop_chance: 0.3, seed: 11, ..SimConfig::default() };
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(fig1(), NullController, cfg);
+            sim.install_proactive_routes();
+            for i in 0..50 {
+                sim.inject(fig1_hosts::INTERNET, http_to(fig1_hosts::H1, i));
+            }
+            sim.run();
+            sim.stats
+        };
+        let with_default_plan = SimConfig {
+            faults: crate::faults::FaultPlan { seed: 999, ..Default::default() },
+            ..base.clone()
+        };
+        assert_eq!(run(base), run(with_default_plan));
     }
 
     #[test]

@@ -14,7 +14,7 @@ fn main() {
 
     // MQO on (the default): all candidates share one joint replay.
     let mut dbg = Debugger::for_scenario(&scenario);
-    let report = dbg.diagnose_and_repair();
+    let report = dbg.diagnose_and_repair().expect("scenario runs");
     println!("== Candidates ==");
     print!("{}", report.render_table());
     println!(

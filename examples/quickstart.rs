@@ -16,7 +16,7 @@ fn main() {
     println!("== Symptom ==\n{}\n", scenario.query);
 
     let mut dbg = Debugger::for_scenario(&scenario);
-    let report = dbg.diagnose_and_repair();
+    let report = dbg.diagnose_and_repair().expect("scenario runs");
 
     println!("== Candidate repairs (cheapest first) ==");
     print!("{}", report.render_table());

@@ -33,7 +33,7 @@
 //! // HTTP server H2 never receives requests.
 //! let scenario = Scenario::q1_copy_paste();
 //! let mut dbg = Debugger::for_scenario(&scenario);
-//! let report = dbg.diagnose_and_repair();
+//! let report = dbg.diagnose_and_repair().expect("scenario runs");
 //! assert!(report
 //!     .accepted
 //!     .iter()

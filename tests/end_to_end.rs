@@ -95,8 +95,8 @@ fn mqo_agrees_with_sequential_on_every_scenario() {
         with.use_mqo = true;
         let mut without = Debugger::for_scenario(&scenario);
         without.use_mqo = false;
-        let a = with.diagnose_and_repair();
-        let b = without.diagnose_and_repair();
+        let a = with.diagnose_and_repair().unwrap();
+        let b = without.diagnose_and_repair().unwrap();
         let da: Vec<&str> =
             a.accepted.iter().map(|&i| a.outcomes[i].candidate.description.as_str()).collect();
         let db: Vec<&str> =
