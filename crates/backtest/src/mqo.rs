@@ -244,6 +244,17 @@ struct TaggedEngine<'a> {
     /// table → [(tuple, tags)]
     state: HashMap<String, Vec<(Tuple, TagSet)>>,
     funcs: CountingFuncs,
+    /// Bumped whenever [`Self::insert_state`] admits fresh bits; stamps
+    /// memo entries so state changes invalidate them.
+    state_gen: u64,
+    /// Fixpoint memo: the codec projects packets onto coarse event tuples
+    /// (e.g. `PacketIn(@C, Swi, Hdr)`), so distinct packets repeatedly
+    /// trigger the *same* evaluation. Key: event tuple → entries of
+    /// `(tags, state generation, reply heads)`. A hit replays the recorded
+    /// heads through the codec against the current packet; evaluation is a
+    /// pure function of `(state, event, tags)`, so this is exact while the
+    /// generation matches.
+    memo: HashMap<Tuple, Vec<(TagSet, u64, Vec<(Tuple, TagSet)>)>>,
 }
 
 impl<'a> TaggedEngine<'a> {
@@ -263,20 +274,26 @@ impl<'a> TaggedEngine<'a> {
             dispatch: build_dispatch(program),
             state,
             funcs: CountingFuncs::starting_at(1000),
+            state_gen: 0,
+            memo: HashMap::new(),
         }
     }
 
     /// Insert a state tuple for `tags`; returns the tag bits that are new.
     fn insert_state(&mut self, t: &Tuple, tags: TagSet) -> TagSet {
         let entry = self.state.entry(t.table.clone()).or_default();
-        if let Some((_, existing)) = entry.iter_mut().find(|(et, _)| et == t) {
+        let fresh = if let Some((_, existing)) = entry.iter_mut().find(|(et, _)| et == t) {
             let fresh = tags & !*existing;
             *existing |= tags;
             fresh
         } else {
             entry.push((t.clone(), tags));
             tags
+        };
+        if fresh != 0 {
+            self.state_gen += 1;
         }
+        fresh
     }
 
     /// Evaluate the tagged program on one PacketIn under `tags`. Returns
@@ -284,12 +301,29 @@ impl<'a> TaggedEngine<'a> {
     fn on_packet_in(&mut self, msg: &PacketInMsg, tags: TagSet) -> Vec<(CtrlMsg, TagSet)> {
         let mut out = Vec::new();
         let event = self.codec.packet_in_tuple(msg);
+        if let Some(entries) = self.memo.get(&event) {
+            if let Some((_, _, heads)) =
+                entries.iter().find(|(t, g, _)| *t == tags && *g == self.state_gen)
+            {
+                // Replay the recorded reply heads against this packet.
+                for (h, htags) in heads {
+                    if let Some(cm) = self.codec.decode(h, msg) {
+                        out.push((cm, *htags));
+                    }
+                }
+                return out;
+            }
+        }
+        let gen_at_entry = self.state_gen;
+        let mut heads_out: Vec<(Tuple, TagSet)> = Vec::new();
+        let mut complete = true;
         let mut queue: VecDeque<(Tuple, TagSet)> = VecDeque::new();
         queue.push_back((event.clone(), tags));
         let mut guard = 0u32;
         while let Some((delta, dtags)) = queue.pop_front() {
             guard += 1;
             if guard > 100_000 {
+                complete = false;
                 break; // runaway guard; candidate is hopeless anyway
             }
             // Variants this delta can fire: its value's keyed group merged
@@ -336,6 +370,7 @@ impl<'a> TaggedEngine<'a> {
                 };
                 for (head, htags) in heads {
                     if let Some(cm) = self.codec.decode(&head, msg) {
+                        heads_out.push((head, htags));
                         out.push((cm, htags));
                         continue;
                     }
@@ -349,6 +384,14 @@ impl<'a> TaggedEngine<'a> {
                     }
                 }
             }
+        }
+        // Memoize only runs that neither tripped the guard nor changed the
+        // state mid-flight — those replay identically while the generation
+        // holds.
+        if complete && self.state_gen == gen_at_entry {
+            let entry = self.memo.entry(event).or_default();
+            entry.retain(|(_, g, _)| *g == gen_at_entry); // drop stale generations
+            entry.push((tags, gen_at_entry, heads_out));
         }
         out
     }
@@ -441,35 +484,34 @@ pub fn mqo_replay(
     let tagged = build_tagged_program(base, candidates);
     let mut engine = TaggedEngine::new(&tagged, &setup.codec, &setup.seeds, full);
 
-    // Per-candidate network state. Each candidate's flow tables (switch
-    // set, proactive shortest-path routes, manual entries) are built
-    // independently, so the setup fans out across the pool workers; the
-    // per-candidate BFS route computation is the bulk of the cost on
-    // large topologies.
+    // Per-candidate network state. The switch set and proactive
+    // shortest-path routes are identical across candidates, so build that
+    // prototype once (riding the topology's memoized route cache) and
+    // clone it per candidate; only the manual extra entries differ.
+    let mut prototype: BTreeMap<i64, FlowTable> = BTreeMap::new();
+    for s in &setup.topology.switches {
+        prototype.insert(*s, FlowTable::new());
+    }
+    if setup.proactive_routes {
+        for h in setup.topology.hosts.iter().copied() {
+            let routes = setup.topology.routes_to(h);
+            for (&sw, &port) in routes.iter() {
+                // routes_to only names switches in the topology, but stay
+                // total: an unknown switch is skipped, not a panic.
+                if let Some(ft) = prototype.get_mut(&sw) {
+                    ft.install(mpr_sdn::flowtable::FlowEntry::new(
+                        1,
+                        mpr_sdn::flowtable::Match::any().with(mpr_sdn::packet::Field::DstIp, h),
+                        vec![Action::Output(port)],
+                    ));
+                }
+            }
+        }
+    }
     let candidate_ids: Vec<usize> = (0..n).collect();
     let mut tables: Vec<BTreeMap<i64, FlowTable>> =
         crate::pool::par_map(&candidate_ids, |_, &ti| {
-            let mut t: BTreeMap<i64, FlowTable> = BTreeMap::new();
-            for s in &setup.topology.switches {
-                t.insert(*s, FlowTable::new());
-            }
-            if setup.proactive_routes {
-                for h in setup.topology.hosts.iter().copied() {
-                    for (sw, port) in setup.topology.routes_to(h) {
-                        // routes_to only names switches in the topology,
-                        // but stay total: an unknown switch is skipped,
-                        // not a panic in a pool worker.
-                        if let Some(ft) = t.get_mut(&sw) {
-                            ft.install(mpr_sdn::flowtable::FlowEntry::new(
-                                1,
-                                mpr_sdn::flowtable::Match::any()
-                                    .with(mpr_sdn::packet::Field::DstIp, h),
-                                vec![Action::Output(port)],
-                            ));
-                        }
-                    }
-                }
-            }
+            let mut t = prototype.clone();
             if let Some(extra) = extra_flows.get(ti) {
                 for (sw, e) in extra {
                     if let Some(ft) = t.get_mut(sw) {
@@ -481,32 +523,41 @@ pub fn mqo_replay(
         });
     let mut stats: Vec<SimStats> = vec![SimStats::default(); n];
 
+    // Frontier per tag: (switch, in_port, packet, hops) — packets can
+    // diverge across candidates after Modify actions.
+    #[derive(Clone)]
+    struct Flight {
+        at: NodeRef,
+        port: i64,
+        pkt: Packet,
+        hops: u32,
+    }
+    // Hop-round buffers, reused across every injection: the loop below
+    // would otherwise allocate `n` fresh `Vec`s per round per packet,
+    // which dominates the replay at fig9c scale.
+    let mut flights: Vec<Vec<Flight>> = vec![Vec::new(); n];
+    let mut next: Vec<Vec<Flight>> = vec![Vec::new(); n];
+    let mut punts: Vec<((i64, i64, Packet), TagSet)> = Vec::new();
+
     // Replay: forward per tag, share controller evaluation across tags.
-    for (src, pkt) in &setup.workload {
+    for (src, pkt) in setup.workload.iter() {
         let Some((sw0, port0)) = setup.topology.host_attachment(*src) else {
             continue;
         };
-        // Frontier per tag: (switch, in_port, packet, hops) — packets can
-        // diverge across candidates after Modify actions.
-        #[derive(Clone)]
-        struct Flight {
-            at: NodeRef,
-            port: i64,
-            pkt: Packet,
-            hops: u32,
+        for fl in flights.iter_mut() {
+            fl.clear();
+            fl.push(Flight { at: NodeRef::Switch(sw0), port: port0, pkt: pkt.clone(), hops: 0 });
         }
-        let mut flights: Vec<Vec<Flight>> = vec![
-            vec![Flight { at: NodeRef::Switch(sw0), port: port0, pkt: pkt.clone(), hops: 0 }];
-            n
-        ];
         for s in stats.iter_mut() {
             s.injected += 1;
         }
         loop {
             // Collect punts (switch, in_port, packet) → tagset, process
             // shared; everything else advances one hop.
-            let mut punts: Vec<((i64, i64, Packet), TagSet)> = Vec::new();
-            let mut next: Vec<Vec<Flight>> = vec![Vec::new(); n];
+            punts.clear();
+            for fl in next.iter_mut() {
+                fl.clear();
+            }
             let mut any = false;
             for (tag, fl) in flights.iter().enumerate() {
                 for f in fl {
@@ -530,7 +581,7 @@ pub fn mqo_replay(
                             }
                             stats[tag].hops += 1;
                             let hit =
-                                tables[tag].get(&s).and_then(|t| t.lookup(&f.pkt, f.port)).cloned();
+                                tables[tag].get(&s).and_then(|t| t.lookup(&f.pkt, f.port));
                             match hit {
                                 Some(e) => {
                                     let mut p = f.pkt.clone();
@@ -599,7 +650,7 @@ pub fn mqo_replay(
                 }
             }
             // Shared controller evaluation per distinct punt.
-            for ((s, port, p), ts) in punts {
+            for ((s, port, p), ts) in punts.drain(..) {
                 let msg = PacketInMsg { switch: s, in_port: port, packet: p };
                 for t in 0..n {
                     if ts & (1 << t) != 0 {
@@ -649,7 +700,7 @@ pub fn mqo_replay(
                     }
                 }
             }
-            flights = next;
+            std::mem::swap(&mut flights, &mut next);
             if !any {
                 break;
             }
@@ -695,10 +746,10 @@ mod tests {
             })
             .collect();
         BacktestSetup {
-            topology: fig1(),
+            topology: std::sync::Arc::new(fig1()),
             codec: TupleCodec::fig2(),
             seeds: vec![],
-            workload,
+            workload: std::sync::Arc::new(workload),
             config: SimConfig::default(),
             proactive_routes: false,
         }

@@ -9,18 +9,23 @@ use mpr_sdn::topology::Topology;
 use mpr_trace::workload::Injection;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything needed to re-create the network for a backtest run.
+///
+/// The immutable artifacts — topology (with its memoized route cache) and
+/// workload — are behind `Arc`, so cloning a setup per candidate shares
+/// them instead of deep-copying per replay.
 #[derive(Clone)]
 pub struct BacktestSetup {
-    /// The network.
-    pub topology: Topology,
+    /// The network (shared across candidate replays).
+    pub topology: Arc<Topology>,
     /// Packet ↔ tuple mapping.
     pub codec: TupleCodec,
     /// Controller state seeded before replay (configuration tuples).
     pub seeds: Vec<Tuple>,
     /// The workload to replay (from the history log or a generator).
-    pub workload: Vec<Injection>,
+    pub workload: Arc<Vec<Injection>>,
     /// Simulator configuration.
     pub config: SimConfig,
     /// Install proactive shortest-path routes underneath the app
@@ -65,7 +70,7 @@ pub fn replay_with_extra_flows(
             t.install(entry.clone());
         }
     }
-    for (src, pkt) in &setup.workload {
+    for (src, pkt) in setup.workload.iter() {
         sim.inject(*src, pkt.clone());
         sim.run();
     }
@@ -152,10 +157,10 @@ mod tests {
             })
             .collect();
         BacktestSetup {
-            topology: fig1(),
+            topology: Arc::new(fig1()),
             codec: TupleCodec::fig2(),
             seeds: vec![],
-            workload,
+            workload: Arc::new(workload),
             config: SimConfig::default(),
             proactive_routes: false,
         }

@@ -60,12 +60,12 @@ fn setup() -> BacktestSetup {
             };
             (fig1_hosts::INTERNET, p)
         })
-        .collect();
+        .collect::<Vec<_>>();
     BacktestSetup {
-        topology: fig1(),
+        topology: fig1().into(),
         codec: TupleCodec::fig2(),
         seeds: vec![],
-        workload,
+        workload: std::sync::Arc::new(workload),
         config: SimConfig::default(),
         proactive_routes: false,
     }

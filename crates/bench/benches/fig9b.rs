@@ -28,7 +28,7 @@ fn main() {
         topology: scenario.topology.clone(),
         codec: scenario.codec.clone(),
         seeds: scenario.seeds.clone(),
-        workload: scenario.workload.clone(),
+        workload: scenario.workload.clone().into(),
         config: scenario.sim.clone(),
         proactive_routes: false,
     };

@@ -1,0 +1,60 @@
+//! Perf guard: compare the fig10 quick-mode artifact written by the
+//! current build against the pinned `BENCH_fig10_quick.json` baseline and
+//! fail (exit 1) on a >25% aggregate regression.
+//!
+//! Run *after* `cargo bench --bench fig10` with `MPR_BENCH_QUICK=1`; when
+//! the artifact or the pinned baseline is missing (a bare local `cargo
+//! bench` in any order), the guard skips with exit 0 instead of failing.
+
+use mpr_bench::{artifact_dir, header, quick_mode};
+use std::path::PathBuf;
+
+/// Allowed regression: current may be at most 1.25× the pinned baseline.
+const MAX_REGRESSION: f64 = 1.25;
+
+fn total_ms(v: &serde_json::Value) -> Option<f64> {
+    let mut sum = 0.0;
+    for point in v.get("series")?.as_array()? {
+        sum += point.get("total_ms")?.as_f64()?;
+    }
+    Some(sum)
+}
+
+fn load(path: &PathBuf) -> Option<serde_json::Value> {
+    let s = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&s).ok()
+}
+
+fn main() {
+    header("Perf guard: fig10 quick mode vs pinned baseline");
+    if !quick_mode() {
+        println!("skip: only meaningful under MPR_BENCH_QUICK=1 (pinned baseline is quick-mode)");
+        return;
+    }
+    let current_path = artifact_dir().join("fig10.json");
+    let pinned_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fig10_quick.json");
+    let (Some(current), Some(pinned)) = (load(&current_path), load(&pinned_path)) else {
+        println!(
+            "skip: missing {} or {} (run `cargo bench --bench fig10` first)",
+            current_path.display(),
+            pinned_path.display()
+        );
+        return;
+    };
+    let (Some(cur_ms), Some(base_ms)) = (total_ms(&current), total_ms(&pinned)) else {
+        println!("skip: artifact shape unrecognized");
+        return;
+    };
+    let ratio = cur_ms / base_ms;
+    println!("pinned total: {base_ms:>10.2} ms");
+    println!("current total:{cur_ms:>10.2} ms  ({ratio:.2}x)");
+    if ratio > MAX_REGRESSION {
+        eprintln!(
+            "PERF REGRESSION: fig10 quick-mode total {cur_ms:.2} ms exceeds \
+             {MAX_REGRESSION}x the pinned {base_ms:.2} ms"
+        );
+        std::process::exit(1);
+    }
+    println!("ok: within the {MAX_REGRESSION}x budget");
+}

@@ -16,6 +16,7 @@ fn run(record_events: bool, n: usize) -> (f64, f64) {
         NdlogController::with_options(scenario.program.clone(), scenario.codec.clone(), opts)
             .expect("controller compiles");
     ctrl.seed(scenario.seeds.clone()).expect("seeds");
+    let mut replies = Vec::new();
     let t0 = Instant::now();
     for i in 0..n {
         let msg = PacketInMsg {
@@ -23,7 +24,8 @@ fn run(record_events: bool, n: usize) -> (f64, f64) {
             in_port: 0,
             packet: Packet::http(i as u64, 100 + (i as i64 % 7), 10),
         };
-        let _ = ctrl.on_packet_in(&msg);
+        replies.clear();
+        ctrl.on_packet_in(&msg, &mut replies);
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let latency_us = elapsed * 1e6 / n as f64;

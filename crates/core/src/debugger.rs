@@ -126,7 +126,7 @@ impl Debugger {
             topology: self.scenario.topology.clone(),
             codec: self.scenario.codec.clone(),
             seeds: self.scenario.seeds.clone(),
-            workload: self.scenario.workload.clone(),
+            workload: std::sync::Arc::new(self.scenario.workload.clone()),
             config: self.scenario.sim.clone(),
             proactive_routes: false,
         }
@@ -155,8 +155,12 @@ impl Debugger {
         // the execution log.
         let t_hist = Instant::now();
         let mut triggers: BTreeSet<Tuple> = BTreeSet::new();
-        for (_, msg) in &sim.packet_in_log {
-            triggers.insert(self.scenario.codec.packet_in_tuple(msg));
+        for rec in sim.packet_in_log() {
+            triggers.insert(self.scenario.codec.packet_in_tuple_parts(
+                rec.switch,
+                rec.in_port,
+                &rec.packet,
+            ));
         }
         let ctrl = sim.controller();
         let mut state: Vec<Tuple> = self.scenario.seeds.clone();

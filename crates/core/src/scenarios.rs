@@ -20,6 +20,7 @@ use mpr_sdn::sim::SimConfig;
 use mpr_sdn::topology::{fig1_hosts, NodeRef, Topology};
 use mpr_trace::workload::Injection;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What the operator observed.
 #[derive(Debug, Clone)]
@@ -70,8 +71,8 @@ pub struct Scenario {
     pub query: String,
     /// The buggy controller program.
     pub program: Program,
-    /// The network.
-    pub topology: Topology,
+    /// The network (shared: backtests hand it to many replays unchanged).
+    pub topology: Arc<Topology>,
     /// Packet ↔ tuple mapping.
     pub codec: TupleCodec,
     /// Configuration tuples seeded into the controller.
@@ -214,7 +215,7 @@ impl Scenario {
             id: "Q1".into(),
             query: "H2 is not receiving HTTP requests from the Internet".into(),
             program: q1_program(),
-            topology: q1_topology(),
+            topology: Arc::new(q1_topology()),
             codec: TupleCodec::fig2(),
             seeds: vec![Tuple::new("WebLoadBalancer", Value::str(C), vec![v(80), v(2)])],
             workload: q1_workload(128),
@@ -276,7 +277,7 @@ impl Scenario {
             id: "Q2".into(),
             query: "The DNS server is not receiving queries from client 6".into(),
             program,
-            topology: mpr_sdn::topology::fig1(),
+            topology: Arc::new(mpr_sdn::topology::fig1()),
             codec: TupleCodec::five_tuple(),
             seeds: vec![],
             workload,
@@ -345,7 +346,7 @@ impl Scenario {
             id: "Q3".into(),
             query: "H2 is not receiving the offloaded HTTP requests".into(),
             program,
-            topology: mpr_sdn::topology::fig1(),
+            topology: Arc::new(mpr_sdn::topology::fig1()),
             codec: TupleCodec::five_tuple(),
             seeds: vec![],
             workload,
@@ -392,7 +393,7 @@ impl Scenario {
             id: "Q4".into(),
             query: "The first HTTP packet of each flow is not received".into(),
             program,
-            topology: mpr_sdn::topology::fig1(),
+            topology: Arc::new(mpr_sdn::topology::fig1()),
             codec,
             seeds: vec![],
             workload,
@@ -463,7 +464,7 @@ impl Scenario {
             id: "Q5".into(),
             query: "H1's address is never learned by the controller".into(),
             program,
-            topology: topo,
+            topology: Arc::new(topo),
             codec: TupleCodec::five_tuple(),
             seeds: vec![],
             workload,
@@ -520,7 +521,7 @@ impl Scenario {
             id: "Fig7".into(),
             query: "HTTP is misrouted to the backup server (harmful flow entry exists)".into(),
             program,
-            topology: mpr_sdn::topology::fig1(),
+            topology: Arc::new(mpr_sdn::topology::fig1()),
             codec: TupleCodec::fig2(),
             seeds: vec![Tuple::new("WebLoadBalancer", Value::str(C), vec![v(80), v(2)])],
             workload,
@@ -556,7 +557,7 @@ impl Scenario {
         );
         let campus = mpr_sdn::topology::campus(&params);
         // Graft the campus onto S1 and generate background host pairs.
-        let mut topo = s.topology.clone();
+        let mut topo = (*s.topology).clone();
         let base = 200i64;
         for sw in &campus.switches {
             topo.add_switch(base + sw);
@@ -581,7 +582,7 @@ impl Scenario {
             }
         }
         topo.connect(NodeRef::Switch(base + 1), NodeRef::Switch(1));
-        s.topology = topo;
+        s.topology = Arc::new(topo);
         // Campus hosts exchange background traffic over proactive routes.
         let hosts: Vec<i64> = s.topology.hosts.iter().copied().filter(|h| *h >= base * 10).collect();
         let mut seq = 5_000_000u64;
@@ -595,6 +596,58 @@ impl Scenario {
         }
         s.workload.extend(extra);
         s.id = format!("Q1@{switches}sw");
+        s
+    }
+
+    /// Q1 scaled onto a fat-tree/Clos fabric with roughly `switches` total
+    /// switches — the fig9c-XL sweep (169 → 10k). Same construction as
+    /// [`Scenario::q1_on_campus`] but over [`mpr_sdn::topology::fat_tree`],
+    /// whose host count is capped so the 10k-switch point stays runnable;
+    /// background traffic is additionally capped at 1024 flows to keep the
+    /// workload size independent of fabric scale.
+    pub fn q1_on_fabric(switches: usize) -> Scenario {
+        let mut s = Scenario::q1_copy_paste();
+        let params = mpr_sdn::topology::FabricParams::with_total_switches(
+            switches.saturating_sub(5).max(4),
+        );
+        let fabric = mpr_sdn::topology::fat_tree(&params);
+        // Graft the fabric onto S1 under offset switch ids (fabric host
+        // ids already live in their own 10M+ range).
+        let mut topo = (*s.topology).clone();
+        let base = 100_000i64;
+        for sw in &fabric.switches {
+            topo.add_switch(base + sw);
+        }
+        for h in &fabric.hosts {
+            topo.add_host(*h);
+        }
+        for ((a, _ap), (b, _bp)) in fabric.all_links() {
+            // The links map holds both directions; add each link once.
+            if (a, _ap) < (b, _bp) {
+                let off = |n: NodeRef| match n {
+                    NodeRef::Switch(t) => NodeRef::Switch(base + t),
+                    NodeRef::Host(h) => NodeRef::Host(h),
+                };
+                topo.connect(off(a), off(b));
+            }
+        }
+        topo.connect(NodeRef::Switch(base + 1), NodeRef::Switch(1));
+        s.topology = Arc::new(topo);
+        // Fabric hosts exchange background traffic over proactive routes,
+        // capped so workload growth doesn't drown the scaling signal.
+        let hosts: Vec<i64> =
+            s.topology.hosts.iter().copied().filter(|h| *h >= mpr_sdn::topology::fabric_ids::HOST_BASE).collect();
+        let mut seq = 6_000_000u64;
+        let mut extra = Vec::new();
+        for (i, h) in hosts.iter().enumerate().take(1024) {
+            let dst = hosts[(i * 7 + 3) % hosts.len()];
+            if dst != *h {
+                extra.push((*h, Packet::icmp(seq, *h, dst)));
+                seq += 1;
+            }
+        }
+        s.workload.extend(extra);
+        s.id = format!("Q1@fabric{switches}sw");
         s
     }
 
@@ -689,7 +742,7 @@ mod tests {
             topology: s.topology.clone(),
             codec: s.codec.clone(),
             seeds: s.seeds.clone(),
-            workload: s.workload.clone(),
+            workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
         };
@@ -720,7 +773,7 @@ mod tests {
             topology: s.topology.clone(),
             codec: s.codec.clone(),
             seeds: s.seeds.clone(),
-            workload: s.workload.clone(),
+            workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
         };
@@ -737,7 +790,7 @@ mod tests {
             topology: s.topology.clone(),
             codec: s.codec.clone(),
             seeds: s.seeds.clone(),
-            workload: s.workload.clone(),
+            workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
         };
@@ -757,7 +810,7 @@ mod tests {
             topology: s.topology.clone(),
             codec: s.codec.clone(),
             seeds: s.seeds.clone(),
-            workload: s.workload.clone(),
+            workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
         };

@@ -46,8 +46,10 @@ pub enum CtrlMsg {
 
 /// The controller interface.
 pub trait Controller {
-    /// Handle a `PacketIn`; return control messages.
-    fn on_packet_in(&mut self, msg: &PacketInMsg) -> Vec<CtrlMsg>;
+    /// Handle a `PacketIn`; push control messages into `out` (handed in
+    /// empty — the simulator reuses one buffer across punts so the hot
+    /// path allocates nothing per miss).
+    fn on_packet_in(&mut self, msg: &PacketInMsg, out: &mut Vec<CtrlMsg>);
 
     /// Display name (reports).
     fn name(&self) -> &str {
@@ -60,9 +62,7 @@ pub trait Controller {
 pub struct NullController;
 
 impl Controller for NullController {
-    fn on_packet_in(&mut self, _msg: &PacketInMsg) -> Vec<CtrlMsg> {
-        Vec::new()
-    }
+    fn on_packet_in(&mut self, _msg: &PacketInMsg, _out: &mut Vec<CtrlMsg>) {}
 
     fn name(&self) -> &str {
         "null"
@@ -79,10 +79,10 @@ pub enum PktArg {
 }
 
 impl PktArg {
-    fn value_of(&self, msg: &PacketInMsg) -> i64 {
+    fn value_of_parts(&self, in_port: i64, packet: &Packet) -> i64 {
         match self {
-            PktArg::Field(f) => msg.packet.field(*f),
-            PktArg::InPort => msg.in_port,
+            PktArg::Field(f) => packet.field(*f),
+            PktArg::InPort => in_port,
         }
     }
 }
@@ -157,10 +157,17 @@ impl TupleCodec {
 
     /// Encode a `PacketIn` message as the event tuple.
     pub fn packet_in_tuple(&self, msg: &PacketInMsg) -> Tuple {
+        self.packet_in_tuple_parts(msg.switch, msg.in_port, &msg.packet)
+    }
+
+    /// [`Self::packet_in_tuple`] from the parts the simulator's compact
+    /// packet-in log stores, so offline consumers (debugger trigger
+    /// extraction) avoid rebuilding a `PacketInMsg` per record.
+    pub fn packet_in_tuple_parts(&self, switch: i64, in_port: i64, packet: &Packet) -> Tuple {
         let mut args = Vec::with_capacity(1 + self.packet_in_args.len());
-        args.push(Value::Int(msg.switch));
+        args.push(Value::Int(switch));
         for a in &self.packet_in_args {
-            args.push(Value::Int(a.value_of(msg)));
+            args.push(Value::Int(a.value_of_parts(in_port, packet)));
         }
         Tuple::new(self.packet_in_table.clone(), self.controller_loc.clone(), args)
     }
@@ -255,15 +262,10 @@ impl NdlogController {
 }
 
 impl Controller for NdlogController {
-    fn on_packet_in(&mut self, msg: &PacketInMsg) -> Vec<CtrlMsg> {
+    fn on_packet_in(&mut self, msg: &PacketInMsg, out: &mut Vec<CtrlMsg>) {
         let tuple = self.codec.packet_in_tuple(msg);
-        match self.engine.insert(tuple) {
-            Ok(step) => step
-                .appeared
-                .iter()
-                .filter_map(|t| self.codec.decode(t, msg))
-                .collect(),
-            Err(_) => Vec::new(),
+        if let Ok(step) = self.engine.insert(tuple) {
+            out.extend(step.appeared.iter().filter_map(|t| self.codec.decode(t, msg)));
         }
     }
 
@@ -331,11 +333,14 @@ mod tests {
         )
         .unwrap();
         let mut ctrl = NdlogController::new(program, TupleCodec::fig2()).unwrap();
-        let out = ctrl.on_packet_in(&msg(2, 80));
+        let mut out = Vec::new();
+        ctrl.on_packet_in(&msg(2, 80), &mut out);
         assert_eq!(out.len(), 1);
         assert!(matches!(&out[0], CtrlMsg::FlowMod { switch: 2, .. }));
         // Unmatched traffic produces nothing.
-        assert!(ctrl.on_packet_in(&msg(9, 22)).is_empty());
+        out.clear();
+        ctrl.on_packet_in(&msg(9, 22), &mut out);
+        assert!(out.is_empty());
         assert!(ctrl.exec_log().len() > 0);
         assert_eq!(ctrl.name(), "ndlog:fig2");
     }
@@ -357,7 +362,9 @@ mod tests {
     #[test]
     fn null_controller_is_silent() {
         let mut c = NullController;
-        assert!(c.on_packet_in(&msg(1, 80)).is_empty());
+        let mut out = Vec::new();
+        c.on_packet_in(&msg(1, 80), &mut out);
+        assert!(out.is_empty());
         assert_eq!(c.name(), "null");
     }
 }

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -172,10 +173,35 @@ impl PartialOrd for CtrlEv {
     }
 }
 
-/// The simulator. Owns the topology, per-switch flow tables and the
-/// controller.
+/// One PacketIn the controller saw — the replayable ingress history. The
+/// packet is *moved* in (the message handed to the controller is rebuilt
+/// on demand by [`PacketInRecord::msg`]), so logging costs no clone on the
+/// hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketInRecord {
+    /// Simulated time of the punt.
+    pub at: u64,
+    /// Switch that missed.
+    pub switch: i64,
+    /// Ingress port at that switch.
+    pub in_port: i64,
+    /// The packet that missed.
+    pub packet: Packet,
+}
+
+impl PacketInRecord {
+    /// Reconstruct the controller-facing message (clones the packet; only
+    /// offline consumers — chaos/debugger trigger extraction — pay this).
+    pub fn msg(&self) -> PacketInMsg {
+        PacketInMsg { switch: self.switch, in_port: self.in_port, packet: self.packet.clone() }
+    }
+}
+
+/// The simulator. Owns the per-switch flow tables and the controller;
+/// shares the (immutable during a run) topology via `Arc` so backtests can
+/// hand one network to many candidate replays without deep-copying it.
 pub struct Simulation<C: Controller> {
-    topo: Topology,
+    topo: Arc<Topology>,
     /// Per-switch flow tables (public for proactive route installation).
     pub tables: BTreeMap<i64, FlowTable>,
     controller: C,
@@ -195,13 +221,20 @@ pub struct Simulation<C: Controller> {
     clock: u64,
     /// Counters.
     pub stats: SimStats,
-    /// Every PacketIn the controller saw (the replayable ingress history).
-    pub packet_in_log: Vec<(u64, PacketInMsg)>,
+    /// Every PacketIn the controller saw (see [`Self::packet_in_log`]).
+    packet_in_log: Vec<PacketInRecord>,
+    /// Reusable controller-reply buffer ([`Self::punt`] hands it to
+    /// `on_packet_in` instead of allocating a `Vec` per miss).
+    reply_buf: Vec<CtrlMsg>,
+    /// Reusable staging buffer for a matched entry's actions.
+    action_buf: Vec<Action>,
 }
 
 impl<C: Controller> Simulation<C> {
-    /// Build a simulation.
-    pub fn new(topo: Topology, controller: C, cfg: SimConfig) -> Self {
+    /// Build a simulation. Accepts an owned [`Topology`] or a pre-shared
+    /// `Arc<Topology>` (backtests reuse one network across candidates).
+    pub fn new(topo: impl Into<Arc<Topology>>, controller: C, cfg: SimConfig) -> Self {
+        let topo = topo.into();
         let tables = topo.switches.iter().map(|s| (*s, FlowTable::new())).collect();
         let rng = StdRng::seed_from_u64(cfg.seed);
         let fault_rng = StdRng::seed_from_u64(cfg.faults.seed);
@@ -222,12 +255,19 @@ impl<C: Controller> Simulation<C> {
             clock: 0,
             stats: SimStats::default(),
             packet_in_log: Vec::new(),
+            reply_buf: Vec::new(),
+            action_buf: Vec::new(),
         }
     }
 
     /// The topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Every PacketIn the controller saw, in punt order.
+    pub fn packet_in_log(&self) -> &[PacketInRecord] {
+        &self.packet_in_log
     }
 
     /// The controller.
@@ -251,7 +291,8 @@ impl<C: Controller> Simulation<C> {
     pub fn install_proactive_routes(&mut self) {
         let hosts: Vec<i64> = self.topo.hosts.iter().copied().collect();
         for h in hosts {
-            for (sw, port) in self.topo.routes_to(h) {
+            let routes = self.topo.routes_to(h);
+            for (&sw, &port) in routes.iter() {
                 let entry = crate::flowtable::FlowEntry::new(
                     1,
                     crate::flowtable::Match::any().with(crate::packet::Field::DstIp, h),
@@ -362,15 +403,24 @@ impl<C: Controller> Simulation<C> {
             return;
         }
         self.stats.hops += 1;
-        let entry = self
-            .tables
-            .get(&switch)
-            .and_then(|t| t.lookup(&packet, in_port))
-            .cloned();
-        match entry {
-            Some(e) => self.apply_actions(switch, in_port, hops, packet, &e.actions),
-            None => self.punt(switch, in_port, hops, packet),
+        // Stage the matched entry's actions through the reusable buffer
+        // (`Action` is `Copy`) instead of cloning the whole `FlowEntry`.
+        let mut actions = std::mem::take(&mut self.action_buf);
+        actions.clear();
+        let hit = match self.tables.get(&switch).and_then(|t| t.lookup(&packet, in_port)) {
+            Some(e) => {
+                actions.extend_from_slice(&e.actions);
+                true
+            }
+            None => false,
+        };
+        if hit {
+            self.apply_actions(switch, in_port, hops, packet, &actions);
+        } else {
+            self.punt(switch, in_port, hops, packet);
         }
+        actions.clear();
+        self.action_buf = actions;
     }
 
     fn apply_actions(
@@ -443,13 +493,24 @@ impl<C: Controller> Simulation<C> {
     fn punt(&mut self, switch: i64, in_port: i64, hops: u32, packet: Packet) {
         self.stats.packet_ins += 1;
         let msg = PacketInMsg { switch, in_port, packet };
-        self.packet_in_log.push((self.clock, msg.clone()));
-        let mut replies = self.controller.on_packet_in(&msg);
+        // Reuse the reply buffer across punts; a reentrant punt (via
+        // `Action::Controller`) just takes a fresh default, so this is
+        // allocation-free on the common path and still correct nested.
+        let mut replies = std::mem::take(&mut self.reply_buf);
+        replies.clear();
+        self.controller.on_packet_in(&msg, &mut replies);
+        // Log by moving the packet out of the message — no clone.
+        self.packet_in_log.push(PacketInRecord {
+            at: self.clock,
+            switch,
+            in_port,
+            packet: msg.packet,
+        });
         self.clock += self.cfg.controller_latency;
         let ctrl = self.cfg.faults.ctrl;
         let mut released = false;
         if ctrl.is_noop() {
-            for r in replies {
+            for r in replies.drain(..) {
                 self.deliver_ctrl(r, in_port, hops, &mut released);
             }
         } else {
@@ -457,7 +518,7 @@ impl<C: Controller> Simulation<C> {
                 replies.reverse();
                 self.stats.ctrl_reordered += 1;
             }
-            for r in replies {
+            for r in replies.drain(..) {
                 if ctrl.drop_chance > 0.0 && self.fault_rng.gen::<f64>() < ctrl.drop_chance {
                     self.stats.ctrl_dropped += 1;
                     continue;
@@ -507,6 +568,7 @@ impl<C: Controller> Simulation<C> {
             // packets, not this one.
             self.stats.dropped_buffered += 1;
         }
+        self.reply_buf = replies;
     }
 
     /// Deliver one controller reply to its switch. A reply addressed to a
@@ -571,7 +633,7 @@ mod tests {
         assert_eq!(sim.stats.packet_ins, 1);
         assert_eq!(sim.stats.dropped_buffered, 1);
         assert_eq!(sim.stats.total_delivered(), 0);
-        assert_eq!(sim.packet_in_log.len(), 1);
+        assert_eq!(sim.packet_in_log().len(), 1);
     }
 
     #[test]
@@ -677,18 +739,16 @@ mod tests {
     struct EchoController;
 
     impl Controller for EchoController {
-        fn on_packet_in(&mut self, msg: &PacketInMsg) -> Vec<CtrlMsg> {
-            vec![
-                CtrlMsg::FlowMod {
-                    switch: msg.switch,
-                    entry: FlowEntry::new(10, Match::any(), vec![Action::Output(1)]),
-                },
-                CtrlMsg::PacketOut {
-                    switch: msg.switch,
-                    packet: msg.packet.clone(),
-                    action: Action::Output(1),
-                },
-            ]
+        fn on_packet_in(&mut self, msg: &PacketInMsg, out: &mut Vec<CtrlMsg>) {
+            out.push(CtrlMsg::FlowMod {
+                switch: msg.switch,
+                entry: FlowEntry::new(10, Match::any(), vec![Action::Output(1)]),
+            });
+            out.push(CtrlMsg::PacketOut {
+                switch: msg.switch,
+                packet: msg.packet.clone(),
+                action: Action::Output(1),
+            });
         }
     }
 

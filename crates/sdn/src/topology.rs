@@ -2,7 +2,9 @@
 //! generator used by the evaluation (§5.2).
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, RwLock};
 
 /// A node reference: switch or host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -22,8 +24,36 @@ impl NodeRef {
     }
 }
 
+/// Memoized `routes_to` results, keyed by host and guarded by the owning
+/// topology's generation counter: any link-state mutation bumps the
+/// generation, and a cache stamped with an older generation is flushed
+/// wholesale on the next lookup. Interior mutability keeps `routes_to`
+/// callable through `&Topology`; the `RwLock` keeps the cache `Sync` for
+/// the backtest pool workers that share one topology.
+#[derive(Default)]
+struct RouteCache {
+    inner: RwLock<RouteCacheInner>,
+}
+
+#[derive(Default)]
+struct RouteCacheInner {
+    /// Generation of the topology these routes were computed against.
+    generation: u64,
+    routes: HashMap<i64, Arc<BTreeMap<i64, i64>>>,
+}
+
+impl fmt::Debug for RouteCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        f.debug_struct("RouteCache")
+            .field("generation", &inner.generation)
+            .field("hosts", &inner.routes.len())
+            .finish()
+    }
+}
+
 /// An undirected multigraph of switches and hosts with numbered ports.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct Topology {
     /// Switch ids.
     pub switches: BTreeSet<i64>,
@@ -31,6 +61,57 @@ pub struct Topology {
     pub hosts: BTreeSet<i64>,
     links: BTreeMap<(NodeRef, i64), (NodeRef, i64)>,
     next_port: BTreeMap<NodeRef, i64>,
+    /// Bumped by every mutation that can affect connectivity.
+    generation: u64,
+    cache: RouteCache,
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        // The clone is an independent topology: it keeps the generation
+        // (so equality of generations still implies "same link state" per
+        // instance) but starts with an empty route cache.
+        Topology {
+            switches: self.switches.clone(),
+            hosts: self.hosts.clone(),
+            links: self.links.clone(),
+            next_port: self.next_port.clone(),
+            generation: self.generation,
+            cache: RouteCache::default(),
+        }
+    }
+}
+
+// The route cache is derived state and stays out of the wire format: the
+// manual impls mirror exactly what `#[derive(Serialize, Deserialize)]`
+// produced for the four data fields before the cache existed.
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("switches".to_string(), self.switches.to_value()),
+            ("hosts".to_string(), self.hosts.to_value()),
+            ("links".to_string(), self.links.to_value()),
+            ("next_port".to_string(), self.next_port.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = match v {
+            serde::Value::Object(m) => m,
+            other => return serde::__private::unexpected("Topology", "object", other),
+        };
+        let field = |name| serde::__private::field(obj, "Topology", name);
+        Ok(Topology {
+            switches: Deserialize::from_value(field("switches")?)?,
+            hosts: Deserialize::from_value(field("hosts")?)?,
+            links: Deserialize::from_value(field("links")?)?,
+            next_port: Deserialize::from_value(field("next_port")?)?,
+            generation: 0,
+            cache: RouteCache::default(),
+        })
+    }
 }
 
 impl Topology {
@@ -42,11 +123,19 @@ impl Topology {
     /// Add a switch.
     pub fn add_switch(&mut self, id: i64) {
         self.switches.insert(id);
+        self.generation += 1;
     }
 
     /// Add a host.
     pub fn add_host(&mut self, id: i64) {
         self.hosts.insert(id);
+        self.generation += 1;
+    }
+
+    /// The link-state generation. Bumped by every mutation; the route
+    /// cache is only served while its stamp matches this counter.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn alloc_port(&mut self, n: NodeRef) -> i64 {
@@ -73,6 +162,7 @@ impl Topology {
         *na = (*na).max(pa + 1);
         let nb = self.next_port.entry(b).or_insert(1);
         *nb = (*nb).max(pb + 1);
+        self.generation += 1;
     }
 
     /// The far end of `(node, port)`.
@@ -80,25 +170,33 @@ impl Topology {
         self.links.get(&(node, port)).copied()
     }
 
+    /// A node's links as `(port, (peer, peer_port))`, in port order. A
+    /// range query on the link map — O(log n + degree), not O(links).
+    pub fn links_of(
+        &self,
+        node: NodeRef,
+    ) -> impl Iterator<Item = (i64, (NodeRef, i64))> + '_ {
+        self.links
+            .range((node, i64::MIN)..=(node, i64::MAX))
+            .map(|((_, p), peer)| (*p, *peer))
+    }
+
+    /// Every directed link as `((node, port), (peer, peer_port))`.
+    pub fn all_links(&self) -> impl Iterator<Item = ((NodeRef, i64), (NodeRef, i64))> + '_ {
+        self.links.iter().map(|(k, v)| (*k, *v))
+    }
+
     /// All connected ports of a node.
     pub fn ports(&self, node: NodeRef) -> Vec<i64> {
-        self.links
-            .keys()
-            .filter(|(n, _)| *n == node)
-            .map(|(_, p)| *p)
-            .collect()
+        self.links_of(node).map(|(p, _)| p).collect()
     }
 
     /// The `(switch, switch_port)` a host hangs off (hosts are single-homed).
     pub fn host_attachment(&self, host: i64) -> Option<(i64, i64)> {
-        for ((n, _p), (m, mp)) in &self.links {
-            if *n == NodeRef::Host(host) {
-                if let NodeRef::Switch(s) = m {
-                    return Some((*s, *mp));
-                }
-            }
-        }
-        None
+        self.links_of(NodeRef::Host(host)).find_map(|(_, (peer, peer_port))| match peer {
+            NodeRef::Switch(s) => Some((s, peer_port)),
+            NodeRef::Host(_) => None,
+        })
     }
 
     /// Number of links (undirected).
@@ -106,9 +204,33 @@ impl Topology {
         self.links.len() / 2
     }
 
+    /// Shortest-path routing toward `host`, memoized. The first call per
+    /// `(generation, host)` runs [`Topology::routes_to_uncached`]; repeat
+    /// calls — every proactive-route install, every backtest candidate —
+    /// share one `Arc` of the result. Mutating the topology bumps the
+    /// generation and invalidates the whole cache.
+    pub fn routes_to(&self, host: i64) -> Arc<BTreeMap<i64, i64>> {
+        {
+            let cache = self.cache.inner.read().unwrap_or_else(|p| p.into_inner());
+            if cache.generation == self.generation {
+                if let Some(r) = cache.routes.get(&host) {
+                    return Arc::clone(r);
+                }
+            }
+        }
+        let computed = Arc::new(self.routes_to_uncached(host));
+        let mut cache = self.cache.inner.write().unwrap_or_else(|p| p.into_inner());
+        if cache.generation != self.generation {
+            cache.routes.clear();
+            cache.generation = self.generation;
+        }
+        Arc::clone(cache.routes.entry(host).or_insert(computed))
+    }
+
     /// Shortest-path routing toward `host`: for each switch, the port that
-    /// leads one hop closer. BFS from the attachment switch.
-    pub fn routes_to(&self, host: i64) -> BTreeMap<i64, i64> {
+    /// leads one hop closer. BFS from the attachment switch. This is the
+    /// uncached reference path; [`Topology::routes_to`] memoizes it.
+    pub fn routes_to_uncached(&self, host: i64) -> BTreeMap<i64, i64> {
         let mut out = BTreeMap::new();
         let Some((root, root_port)) = self.host_attachment(host) else {
             return out;
@@ -117,10 +239,10 @@ impl Topology {
         let mut visited: BTreeSet<i64> = [root].into();
         let mut queue: VecDeque<i64> = [root].into();
         while let Some(s) = queue.pop_front() {
-            for p in self.ports(NodeRef::Switch(s)) {
-                if let Some((NodeRef::Switch(t), tp)) = self.peer(NodeRef::Switch(s), p) {
+            for (_, (peer, peer_port)) in self.links_of(NodeRef::Switch(s)) {
+                if let NodeRef::Switch(t) = peer {
                     if visited.insert(t) {
-                        out.insert(t, tp);
+                        out.insert(t, peer_port);
                         queue.push_back(t);
                     }
                 }
@@ -254,6 +376,88 @@ pub fn campus(params: &CampusParams) -> Topology {
             t.add_host(host_id);
             t.connect(NodeRef::Switch(sw), NodeRef::Host(host_id));
             host_id += 1;
+        }
+    }
+    t
+}
+
+/// Parameters for the fat-tree/Clos generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricParams {
+    /// Fat-tree arity `k` (even): `k` pods of `k/2` aggregation + `k/2`
+    /// edge switches over `(k/2)²` cores — `5k²/4` switches total.
+    pub k: usize,
+    /// Hosts attached to each edge switch (the canonical fat-tree uses
+    /// `k/2`; capped here so 10k-switch fabrics keep workable host counts).
+    pub hosts_per_edge: usize,
+}
+
+impl FabricParams {
+    /// Pick the even `k` whose `5k²/4` switch count lands closest to
+    /// `switches` (the fig9c-XL sweep asks for 169 → 1k → 4k → 10k).
+    pub fn with_total_switches(switches: usize) -> Self {
+        let ideal = (4.0 * switches as f64 / 5.0).sqrt();
+        let lo = ((ideal as usize) / 2 * 2).max(2);
+        let hi = lo + 2;
+        let count = |k: usize| 5 * k * k / 4;
+        let k = if switches.abs_diff(count(lo)) <= switches.abs_diff(count(hi)) { lo } else { hi };
+        let edges = k * k / 2;
+        // Denser host fan-out on small fabrics, sparse at 10k switches.
+        let hosts_per_edge = (512 / edges.max(1)).clamp(1, 8);
+        FabricParams { k, hosts_per_edge }
+    }
+
+    /// Total switch count (`(k/2)²` cores + `k²/2` agg + `k²/2` edge).
+    pub fn total_switches(&self) -> usize {
+        5 * self.k * self.k / 4
+    }
+
+    /// Total host count.
+    pub fn total_hosts(&self) -> usize {
+        self.k * self.k / 2 * self.hosts_per_edge
+    }
+}
+
+/// Ids used by the fat-tree generator.
+pub mod fabric_ids {
+    /// First host id (hosts are appended after all switch ids).
+    pub const HOST_BASE: i64 = 10_000_000;
+}
+
+/// Generate a `k`-ary fat-tree (Al-Fares-style Clos): `(k/2)²` core
+/// switches; `k` pods, each with `k/2` aggregation switches fully meshed
+/// to `k/2` edge switches; aggregation switch `i` of every pod uplinks to
+/// cores `[i·k/2, (i+1)·k/2)`. Edge switches carry `hosts_per_edge` hosts.
+/// Switch ids: cores `1..=(k/2)²`, then per pod aggs, then edges.
+pub fn fat_tree(params: &FabricParams) -> Topology {
+    let k = params.k.max(2) & !1; // even, ≥ 2
+    let half = (k / 2) as i64;
+    let core_n = half * half;
+    let mut t = Topology::new();
+    for c in 1..=core_n {
+        t.add_switch(c);
+    }
+    let agg_id = |pod: i64, i: i64| core_n + pod * half + i + 1;
+    let edge_id = |pod: i64, j: i64| core_n + (k as i64) * half + pod * half + j + 1;
+    let mut host_id = fabric_ids::HOST_BASE;
+    for pod in 0..k as i64 {
+        for i in 0..half {
+            t.add_switch(agg_id(pod, i));
+            // Uplinks: agg i owns core block [i·half, (i+1)·half).
+            for c in 0..half {
+                t.connect(NodeRef::Switch(agg_id(pod, i)), NodeRef::Switch(i * half + c + 1));
+            }
+        }
+        for j in 0..half {
+            t.add_switch(edge_id(pod, j));
+            for i in 0..half {
+                t.connect(NodeRef::Switch(edge_id(pod, j)), NodeRef::Switch(agg_id(pod, i)));
+            }
+            for _ in 0..params.hosts_per_edge {
+                t.add_host(host_id);
+                t.connect(NodeRef::Switch(edge_id(pod, j)), NodeRef::Host(host_id));
+                host_id += 1;
+            }
         }
     }
     t

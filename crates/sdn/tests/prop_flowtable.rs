@@ -58,6 +58,25 @@ fn packet() -> impl Strategy<Value = Packet> {
         })
 }
 
+/// A random mutation applied between lookups, covering the index
+/// invalidation paths: install, replace, remove and the crash wipe.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Install(FlowEntry),
+    Replace(FlowEntry),
+    Remove(Match),
+    CrashWipe,
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        4 => entry().prop_map(Mutation::Install),
+        2 => entry().prop_map(Mutation::Replace),
+        1 => rmatch().prop_map(Mutation::Remove),
+        1 => Just(Mutation::CrashWipe),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -67,19 +86,87 @@ proptest! {
         for e in entries {
             ft.install(e);
         }
-        let fast = ft.lookup(&pkt, in_port);
-        let slow = ft.lookup_reference(&pkt, in_port);
-        match (fast, slow) {
-            (None, None) => {}
-            (Some(a), Some(b)) => {
-                // Same priority and specificity class; the actual entry can
-                // differ only among exact ties, which the table resolves by
-                // order — the reference must agree on the *class*.
-                prop_assert_eq!(a.priority, b.priority);
-                prop_assert_eq!(a.m.specificity(), b.m.specificity());
-            }
-            (a, b) => prop_assert!(false, "fast={a:?} slow={b:?}"),
+        // Exact identity, ties included: the shipped lookup (linear or
+        // indexed) must return the very entry the oracle picks.
+        prop_assert_eq!(ft.lookup(&pkt, in_port), ft.lookup_reference(&pkt, in_port));
+    }
+
+    /// Tables large enough to engage the hash index (>= 8 entries), probed
+    /// with many packets so collisions inside signature groups and
+    /// cross-group priority races are exercised.
+    #[test]
+    fn indexed_lookup_agrees_on_large_tables(
+        entries in prop::collection::vec(entry(), 8..48),
+        pkts in prop::collection::vec((packet(), 0i64..4), 1..16),
+    ) {
+        let mut ft = FlowTable::new();
+        for e in entries {
+            ft.install(e);
         }
+        for (pkt, in_port) in pkts {
+            prop_assert_eq!(ft.lookup(&pkt, in_port), ft.lookup_reference(&pkt, in_port));
+        }
+    }
+
+    /// Specificity ties with different actions: the tie-break (earliest
+    /// installed) must be preserved by the index.
+    #[test]
+    fn specificity_ties_resolve_to_earliest_installed(
+        n in 8usize..20,
+        pkt in packet(),
+        in_port in 0i64..4,
+    ) {
+        let mut ft = FlowTable::new();
+        // All entries share (priority, specificity) but differ in action.
+        for i in 0..n {
+            ft.install(FlowEntry::new(5, Match::any(), vec![Action::Output(i as i64)]));
+        }
+        let hit = ft.lookup(&pkt, in_port).expect("match-all entry matches");
+        prop_assert_eq!(&hit.actions, &vec![Action::Output(0)]);
+        prop_assert_eq!(ft.lookup(&pkt, in_port), ft.lookup_reference(&pkt, in_port));
+    }
+
+    /// Interleaved mutations (install / replace / remove / crash wipe) keep
+    /// the index coherent: after every step, indexed lookup still equals
+    /// the oracle.
+    #[test]
+    fn lookup_agrees_through_mutation_sequences(
+        seed in prop::collection::vec(entry(), 0..24),
+        muts in prop::collection::vec(mutation(), 1..12),
+        pkts in prop::collection::vec((packet(), 0i64..4), 1..6),
+    ) {
+        let mut ft = FlowTable::new();
+        for e in seed {
+            ft.install(e);
+        }
+        for m in muts {
+            match m {
+                Mutation::Install(e) => ft.install(e),
+                Mutation::Replace(e) => ft.replace(e),
+                Mutation::Remove(m) => { ft.remove(&m); }
+                Mutation::CrashWipe => ft.clear(),
+            }
+            for (pkt, in_port) in &pkts {
+                prop_assert_eq!(ft.lookup(pkt, *in_port), ft.lookup_reference(pkt, *in_port));
+            }
+        }
+    }
+
+    /// Reference mode is a pure routing flag: flipping it never changes
+    /// the lookup result.
+    #[test]
+    fn reference_mode_is_transparent(
+        entries in prop::collection::vec(entry(), 0..24),
+        pkt in packet(),
+        in_port in 0i64..4,
+    ) {
+        let mut ft = FlowTable::new();
+        for e in entries {
+            ft.install(e);
+        }
+        let indexed = ft.lookup(&pkt, in_port).cloned();
+        ft.set_reference_mode(true);
+        prop_assert_eq!(ft.lookup(&pkt, in_port).cloned(), indexed);
     }
 
     #[test]

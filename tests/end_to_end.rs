@@ -62,7 +62,7 @@ fn accepted_repairs_actually_heal_the_network() {
         topology: scenario.topology.clone(),
         codec: scenario.codec.clone(),
         seeds: scenario.seeds.clone(),
-        workload: scenario.workload.clone(),
+        workload: scenario.workload.clone().into(),
         config: scenario.sim.clone(),
         proactive_routes: false,
     };
