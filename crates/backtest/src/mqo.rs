@@ -752,6 +752,7 @@ mod tests {
             workload: std::sync::Arc::new(workload),
             config: SimConfig::default(),
             proactive_routes: false,
+            engine: mpr_runtime::Options::default(),
         }
     }
 

@@ -31,6 +31,11 @@ pub struct BacktestSetup {
     /// Install proactive shortest-path routes underneath the app
     /// (priority 1, overridden by reactive entries).
     pub proactive_routes: bool,
+    /// Engine options for the replay controllers (strategy, durability, …).
+    /// `record_events` is forced off per-replay regardless — backtests
+    /// need speed, not explanations. The kill-and-restart harness uses
+    /// this to run backtests against a WAL-journaled engine.
+    pub engine: EngineOptions,
 }
 
 /// Outcome of replaying one program.
@@ -57,7 +62,7 @@ pub fn replay_with_extra_flows(
     program: &Program,
     extra_flows: &[(i64, mpr_sdn::flowtable::FlowEntry)],
 ) -> Result<ReplayOutcome, String> {
-    let opts = EngineOptions { record_events: false, ..EngineOptions::default() };
+    let opts = EngineOptions { record_events: false, ..setup.engine.clone() };
     let mut ctrl = NdlogController::with_options(program.clone(), setup.codec.clone(), opts)
         .map_err(|e| e.to_string())?;
     ctrl.seed(setup.seeds.clone()).map_err(|e| e.to_string())?;
@@ -163,6 +168,7 @@ mod tests {
             workload: Arc::new(workload),
             config: SimConfig::default(),
             proactive_routes: false,
+            engine: EngineOptions::default(),
         }
     }
 

@@ -68,6 +68,7 @@ fn setup() -> BacktestSetup {
         workload: std::sync::Arc::new(workload),
         config: SimConfig::default(),
         proactive_routes: false,
+        engine: mpr_runtime::Options::default(),
     }
 }
 

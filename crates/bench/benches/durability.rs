@@ -1,0 +1,51 @@
+//! Durability overhead: the fig10 turnaround sweep run twice — tuple
+//! store in memory only (`Durability::Mem`, the zero-cost default) vs
+//! journaling every mutation through the write-ahead log
+//! (`Durability::Wal`) — reporting the WAL's cost on the full
+//! diagnose → repair → backtest loop. The pinned acceptance bar
+//! (`BENCH_durability.json`, enforced by the `guard` target) is a WAL/Mem
+//! ratio of at most 2x.
+
+use mpr_bench::{header, quick_mode, reps, write_artifact};
+use mpr_core::debugger::Debugger;
+use mpr_core::scenarios::Scenario;
+use mpr_runtime::{Durability, WalOptions};
+
+/// Fastest-of-`reps()` repair-loop turnaround (ms) under `durability`.
+fn turnaround_ms(scenario: &Scenario, durability: &Durability) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps() {
+        let mut dbg = Debugger::for_scenario(scenario);
+        dbg.engine_options.durability = durability.clone();
+        let report = dbg.diagnose_and_repair().expect("repair loop failed");
+        assert!(report.generated() > 0, "loop degenerated under {durability}");
+        best = best.min(report.timings.total().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    header("Durability: fig10 turnaround with the WAL on vs off (milliseconds)");
+    println!("{:>7} {:>10} {:>10} {:>7}", "Lines", "Mem", "WAL", "ratio");
+    let sizes: &[usize] = if quick_mode() { &[100, 300] } else { &[100, 300, 500] };
+    let scratch = std::env::temp_dir().join(format!("mpr-bench-durability-{}", std::process::id()));
+    let mut series = Vec::new();
+    for &lines in sizes {
+        let scenario = Scenario::q1_padded(lines);
+        let mem_ms = turnaround_ms(&scenario, &Durability::Mem);
+        let _ = std::fs::remove_dir_all(&scratch);
+        let wal = Durability::Wal(WalOptions::new(&scratch));
+        let wal_ms = turnaround_ms(&scenario, &wal);
+        let _ = std::fs::remove_dir_all(&scratch);
+        let ratio = wal_ms / mem_ms;
+        println!("{lines:>7} {mem_ms:>10.2} {wal_ms:>10.2} {ratio:>6.2}x");
+        series.push(serde_json::json!({
+            "lines": lines,
+            "mem_ms": mem_ms,
+            "wal_ms": wal_ms,
+            "ratio": ratio,
+        }));
+    }
+    write_artifact("durability", &serde_json::json!({ "series": series }));
+    println!("\nacceptance shape: WAL-on stays within 2x of the in-memory baseline");
+}

@@ -31,6 +31,7 @@ fn main() {
         workload: scenario.workload.clone().into(),
         config: scenario.sim.clone(),
         proactive_routes: false,
+        engine: mpr_runtime::Options::default(),
     };
     header("Fig. 9b: backtesting the first k Q1 candidates (milliseconds)");
     println!("{:>3} {:>14} {:>14} {:>8}", "k", "Sequential", "MQO", "Speedup");

@@ -18,6 +18,7 @@
 //! | `overhead` | §5.4 — provenance latency/throughput overhead |
 //! | `storage`  | §5.4 — log storage rates |
 //! | `micro`    | criterion ablations (engine, solver tiers, MQO, tables) |
+//! | `durability` | fig10 turnaround with the WAL on vs off (journaling overhead) |
 
 use mpr_core::debugger::RepairReport;
 use std::fs;

@@ -21,12 +21,21 @@
 
 use crate::debugger::{try_repair_scenario, RepairReport};
 use crate::scenarios::Scenario;
+use mpr_backtest::replay::{replay, BacktestSetup};
+use mpr_ndlog::Persistence;
+use mpr_runtime::{Durability, Options as EngineOptions, Store, WalOptions};
+use mpr_sdn::controller::NdlogController;
+use mpr_sdn::sim::Simulation;
 use mpr_sdn::topology::{NodeRef, Topology};
 use mpr_sdn::{CtrlFaults, FaultPlan, LinkFault, SwitchCrash};
+use mpr_storage::{MemBackend, StorageBackend, WalBackend, WalConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A family of fault schedules the harness knows how to randomize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,10 +48,20 @@ pub enum FaultClass {
     SwitchCrash,
     /// Control-channel misbehavior: drop, duplicate, delay, reorder.
     CtrlChaos,
+    /// The *controller process itself* dying mid-write and restarting from
+    /// its write-ahead log. Unlike the four network classes, this fault
+    /// probes durability rather than the data plane, so it has no
+    /// [`FaultPlan`] expansion — it is swept by the dedicated
+    /// kill-and-restart harness ([`kill_sweep`]), which truncates a
+    /// captured WAL at randomized byte offsets and reopens.
+    ProcessKill,
 }
 
 impl FaultClass {
-    /// Every class, in sweep order.
+    /// Every *network* class, in sweep order. [`FaultClass::ProcessKill`]
+    /// is deliberately excluded: it is driven by [`kill_sweep`] (byte-level
+    /// crash points against the WAL), not by [`sweep`] (fault schedules
+    /// against the simulated network).
     pub const ALL: [FaultClass; 4] =
         [FaultClass::LinkOutage, FaultClass::LinkFlap, FaultClass::SwitchCrash, FaultClass::CtrlChaos];
 
@@ -53,6 +72,7 @@ impl FaultClass {
             FaultClass::LinkFlap => "link-flap",
             FaultClass::SwitchCrash => "switch-crash",
             FaultClass::CtrlChaos => "ctrl-chaos",
+            FaultClass::ProcessKill => "process-kill",
         }
     }
 }
@@ -123,6 +143,11 @@ pub fn random_plan(class: FaultClass, seed: u64, topology: &Topology) -> FaultPl
                 reorder: rng.gen_range(0..2u64) == 1,
             };
         }
+        // Process death is not a network schedule; the kill harness injects
+        // it at the storage layer instead ([`kill_sweep`]). The healthy
+        // network is exactly the point: recovery must be lossless even when
+        // nothing else went wrong.
+        FaultClass::ProcessKill => {}
     }
     plan
 }
@@ -447,6 +472,360 @@ pub fn regression_cases() -> Vec<RegressionCase> {
             expect_recovered: false,
         },
     ]
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-restart: FaultClass::ProcessKill, injected at the storage layer
+// ---------------------------------------------------------------------------
+
+/// Where in the repair loop the process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillPhase {
+    /// During the observation run: the controller is evaluating the buggy
+    /// program to fixpoint against live traffic when the process dies.
+    MidFixpoint,
+    /// During a backtest replay: a candidate validation run is journaling
+    /// when the process dies.
+    MidBacktest,
+}
+
+impl KillPhase {
+    /// Stable display name (artifact keys, tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KillPhase::MidFixpoint => "mid-fixpoint",
+            KillPhase::MidBacktest => "mid-backtest",
+        }
+    }
+}
+
+/// A full WAL captured from one journaled engine run — the raw material
+/// the crash points cut into. `records` is the clean decode of
+/// `wal_bytes`, used to build the prefix oracle.
+#[derive(Debug, Clone)]
+pub struct WalCapture {
+    /// Scenario id the engine ran.
+    pub scenario: String,
+    /// Which loop phase produced the log.
+    pub phase: KillPhase,
+    /// The raw `wal.0.log` bytes, exactly as the engine left them.
+    pub wal_bytes: Vec<u8>,
+    /// The journal records framed inside `wal_bytes`, oldest first.
+    pub records: Vec<Vec<u8>>,
+}
+
+/// Hands each capture / crash probe its own scratch directory, so
+/// concurrent test threads never share a log.
+static KILL_SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn kill_scratch_dir(tag: &str) -> PathBuf {
+    let seq = KILL_SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mpr-kill-{}-{tag}-{seq}", std::process::id()))
+}
+
+/// Run `scenario` under WAL durability and capture the log the engine
+/// wrote. `MidFixpoint` drives the observation run (controller + live
+/// simulator); `MidBacktest` drives a backtest replay of the buggy
+/// program. `max_injections` truncates the workload (0 = all of it) so
+/// sweeps over many crash points stay cheap. Compaction is disabled for
+/// the capture: every journaled op stays in `wal.0.log`, giving the crash
+/// points a maximal surface to cut.
+pub fn capture_wal(
+    scenario: &Scenario,
+    phase: KillPhase,
+    opts: &EngineOptions,
+    max_injections: usize,
+) -> Result<WalCapture, String> {
+    let scratch = kill_scratch_dir(phase.name());
+    let mut eopts = opts.clone();
+    eopts.record_events = false;
+    eopts.durability = Durability::Wal(WalOptions {
+        dir: scratch.clone(),
+        fsync: false,
+        compact_every: 0,
+    });
+    let workload: Vec<_> = if max_injections == 0 {
+        scenario.workload.clone()
+    } else {
+        scenario.workload.iter().take(max_injections).cloned().collect()
+    };
+    let run = || -> Result<(), String> {
+        match phase {
+            KillPhase::MidFixpoint => {
+                let mut ctrl = NdlogController::with_options(
+                    scenario.program.clone(),
+                    scenario.codec.clone(),
+                    eopts.clone(),
+                )
+                .map_err(|e| e.to_string())?;
+                ctrl.seed(scenario.seeds.clone()).map_err(|e| e.to_string())?;
+                let mut sim = Simulation::new(scenario.topology.clone(), ctrl, scenario.sim.clone());
+                for (src, pkt) in &workload {
+                    sim.inject(*src, pkt.clone());
+                    sim.run();
+                }
+                if let Some(why) = sim.controller().engine().durability_degraded() {
+                    return Err(format!("durability degraded during capture: {why}"));
+                }
+                Ok(())
+            }
+            KillPhase::MidBacktest => {
+                let setup = BacktestSetup {
+                    topology: scenario.topology.clone(),
+                    codec: scenario.codec.clone(),
+                    seeds: scenario.seeds.clone(),
+                    workload: Arc::new(workload),
+                    config: scenario.sim.clone(),
+                    proactive_routes: false,
+                    engine: eopts.clone(),
+                };
+                replay(&setup, &scenario.program).map(|_| ())
+            }
+        }
+    };
+    let result = run();
+    let capture = result.and_then(|()| {
+        // Exactly one engine journaled under the scratch dir; read its log
+        // back and decode the record framing through a clean recovery.
+        let mut engine_dirs: Vec<PathBuf> = std::fs::read_dir(&scratch)
+            .map_err(|e| format!("scratch dir unreadable: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("engine-"))
+            })
+            .collect();
+        engine_dirs.sort();
+        if engine_dirs.len() != 1 {
+            return Err(format!("expected 1 journaled engine, found {}", engine_dirs.len()));
+        }
+        let dir = engine_dirs.remove(0);
+        let wal_bytes =
+            std::fs::read(dir.join("wal.0.log")).map_err(|e| format!("read wal.0.log: {e}"))?;
+        let mut backend =
+            WalBackend::open(WalConfig::new(&dir)).map_err(|e| format!("reopen capture: {e}"))?;
+        let recovered = backend.recover().map_err(|e| format!("recover capture: {e}"))?;
+        if !recovered.status.is_clean() || recovered.snapshot.is_some() {
+            return Err(format!("capture did not reopen clean: {:?}", recovered.status));
+        }
+        Ok(WalCapture {
+            scenario: scenario.id.clone(),
+            phase,
+            wal_bytes,
+            records: recovered.records,
+        })
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+    capture
+}
+
+/// One crash point's verdict: the process died after `cut` bytes of the
+/// WAL reached disk; the restart recovered `ops_applied` ops and either
+/// matched the prefix oracle or didn't.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillOutcome {
+    /// Scenario id.
+    pub scenario: String,
+    /// Loop phase the log was captured from.
+    pub phase: KillPhase,
+    /// Bytes of the WAL that survived the crash.
+    pub cut: u64,
+    /// Full length of the captured WAL.
+    pub wal_len: u64,
+    /// Journal ops the restart replayed.
+    pub ops_applied: usize,
+    /// The restart reported [`mpr_storage::Recovery::Clean`] (true exactly
+    /// when the cut landed on a record-frame boundary).
+    pub clean: bool,
+    /// The recovered store equals the oracle built from the surviving
+    /// whole-record prefix — the property every crash point must hold.
+    pub prefix_consistent: bool,
+    /// Recovery error or escaped panic, when something went wrong.
+    pub error: Option<String>,
+}
+
+/// Byte offsets (within `wal_len`) at which whole record frames end —
+/// i.e. the cuts a crash can land on and still recover `Clean`.
+pub fn frame_boundaries(records: &[Vec<u8>]) -> Vec<u64> {
+    let mut at = 0u64;
+    let mut bounds = vec![0u64];
+    for r in records {
+        at += 8 + r.len() as u64; // [len u32][crc32 u32][payload]
+        bounds.push(at);
+    }
+    bounds
+}
+
+/// Recover a [`Store`] from the first `cut` bytes of a captured WAL, as a
+/// restart after a crash at that exact byte would. Returns the store and
+/// its recovery report. Everything happens in a throwaway directory.
+fn recover_prefix(
+    capture: &WalCapture,
+    cut: u64,
+) -> Result<(Store, mpr_runtime::StoreRecovery), String> {
+    let cut = (cut.min(capture.wal_bytes.len() as u64)) as usize;
+    let dir = kill_scratch_dir("crash");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create crash dir: {e}"))?;
+    std::fs::write(dir.join("wal.0.log"), &capture.wal_bytes[..cut])
+        .map_err(|e| format!("write truncated wal: {e}"))?;
+    let result = WalBackend::open(WalConfig::new(&dir))
+        .and_then(|mut backend| Store::recover(&mut backend))
+        .map_err(|e| e.to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Kill the process at byte `cut` of the captured WAL and restart: write
+/// the surviving prefix to a fresh directory, reopen it through
+/// [`WalBackend`] + [`Store::recover`], and compare the recovered store
+/// against an oracle that replays exactly the whole records the cut
+/// preserved (through [`MemBackend::primed`]). Panics anywhere inside
+/// recovery are contained and reported — a crash point must never take
+/// the harness down.
+pub fn crash_at(capture: &WalCapture, cut: u64) -> KillOutcome {
+    let wal_len = capture.wal_bytes.len() as u64;
+    let cut = cut.min(wal_len);
+    let whole_frames = frame_boundaries(&capture.records).iter().filter(|&&b| b <= cut).count() - 1;
+    let probe = catch_unwind(AssertUnwindSafe(|| -> Result<(bool, usize, bool), String> {
+        let (store, recovery) = recover_prefix(capture, cut)?;
+        let mut oracle_backend =
+            MemBackend::primed(None, capture.records[..whole_frames.min(capture.records.len())].to_vec());
+        let (oracle, _) = Store::recover(&mut oracle_backend).map_err(|e| e.to_string())?;
+        let consistent =
+            recovery.ops_applied == whole_frames && store.dump() == oracle.dump();
+        Ok((recovery.status.is_clean(), recovery.ops_applied, consistent))
+    }));
+    let base = KillOutcome {
+        scenario: capture.scenario.clone(),
+        phase: capture.phase,
+        cut,
+        wal_len,
+        ops_applied: 0,
+        clean: false,
+        prefix_consistent: false,
+        error: None,
+    };
+    match probe {
+        Ok(Ok((clean, ops_applied, prefix_consistent))) => KillOutcome {
+            ops_applied,
+            clean,
+            prefix_consistent,
+            ..base
+        },
+        Ok(Err(e)) => KillOutcome { error: Some(format!("recovery error: {e}")), ..base },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|m| (*m).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            KillOutcome { error: Some(format!("escaped panic: {msg}")), ..base }
+        }
+    }
+}
+
+/// `n` deterministic crash positions as parts-per-million of the WAL
+/// length. Seeded independently of [`random_plan`] so the two sweeps
+/// don't correlate.
+pub fn random_kill_points(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+    (0..n).map(|_| rng.gen_range(0..=1_000_000u64)).collect()
+}
+
+/// The result of a kill sweep: one [`KillOutcome`] per crash point, in
+/// `(scenario, phase, cut)` order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillReport {
+    /// All crash-point outcomes.
+    pub outcomes: Vec<KillOutcome>,
+}
+
+impl KillReport {
+    /// Crash points that failed: recovery errored, panicked, or produced a
+    /// state diverging from the surviving-prefix oracle.
+    pub fn failures(&self) -> Vec<&KillOutcome> {
+        self.outcomes.iter().filter(|o| o.error.is_some() || !o.prefix_consistent).collect()
+    }
+
+    /// Plain-text summary by scenario and phase (EXPERIMENTS.md shape).
+    pub fn render_table(&self) -> String {
+        let mut rows: std::collections::BTreeMap<(String, &'static str), (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for o in &self.outcomes {
+            let row = rows.entry((o.scenario.clone(), o.phase.name())).or_default();
+            row.1 += 1;
+            if o.error.is_none() && o.prefix_consistent {
+                row.0 += 1;
+            }
+        }
+        let mut out =
+            format!("{:<10} {:<14} {:>10} {:>7}\n", "scenario", "phase", "consistent", "total");
+        for ((scenario, phase), (ok, total)) in rows {
+            out.push_str(&format!("{scenario:<10} {phase:<14} {ok:>10} {total:>7}\n"));
+        }
+        out
+    }
+}
+
+/// Sweep crash points over every `(scenario, phase)` pair: capture one
+/// WAL per pair, then kill-and-restart at `cuts_per_phase` randomized
+/// byte offsets plus the two endpoints (nothing persisted / everything
+/// persisted). Deterministic for fixed inputs. Errors if a capture run
+/// itself fails — the harness refuses to sweep a log it couldn't verify.
+pub fn kill_sweep(
+    scenarios: &[Scenario],
+    opts: &EngineOptions,
+    cuts_per_phase: usize,
+    seed: u64,
+    max_injections: usize,
+) -> Result<KillReport, String> {
+    let mut outcomes = Vec::new();
+    for scenario in scenarios {
+        for phase in [KillPhase::MidFixpoint, KillPhase::MidBacktest] {
+            let capture = capture_wal(scenario, phase, opts, max_injections)
+                .map_err(|e| format!("{} {} capture: {e}", scenario.id, phase.name()))?;
+            let len = capture.wal_bytes.len() as u64;
+            let mut cuts = vec![0u64, len];
+            cuts.extend(
+                random_kill_points(seed ^ len, cuts_per_phase)
+                    .into_iter()
+                    .map(|ppm| len.saturating_mul(ppm) / 1_000_000),
+            );
+            for cut in cuts {
+                outcomes.push(crash_at(&capture, cut));
+            }
+        }
+    }
+    Ok(KillReport { outcomes })
+}
+
+/// Restart *and resume*: recover the store from the surviving prefix of a
+/// crashed run, fold the recovered durable state back into the scenario's
+/// seeds, and drive the full diagnose → repair → backtest loop from
+/// there. Only `State`-persistence tuples carry over — event tuples are
+/// consumed by design and a restart must not replay them as fresh
+/// stimuli. This is the end-to-end property [`FaultClass::ProcessKill`]
+/// pins: a kill at any WAL offset leaves the loop able to converge again.
+pub fn restart_repair(
+    scenario: &Scenario,
+    capture: &WalCapture,
+    cut: u64,
+) -> Result<RepairReport, String> {
+    let (store, _recovery) = recover_prefix(capture, cut)?;
+    let mut resumed = scenario.clone();
+    for tuple in store.base_tuples() {
+        let is_state = scenario
+            .program
+            .catalog
+            .get(&tuple.table)
+            .is_some_and(|s| s.persistence == Persistence::State);
+        if is_state && !resumed.seeds.contains(&tuple) {
+            resumed.seeds.push(tuple);
+        }
+    }
+    try_repair_scenario(&resumed)
 }
 
 #[cfg(test)]

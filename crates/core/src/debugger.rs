@@ -113,12 +113,20 @@ pub struct Debugger {
     scenario: Scenario,
     /// Use the §4.4 multi-query optimizer for joint backtesting.
     pub use_mqo: bool,
+    /// Engine options for the observation run and every sequential
+    /// backtest replay (strategy, durability, …). The kill-and-restart
+    /// harness points this at a WAL so crashes mid-loop are recoverable.
+    pub engine_options: EngineOptions,
 }
 
 impl Debugger {
     /// Build a debugger for a scenario.
     pub fn for_scenario(scenario: &Scenario) -> Debugger {
-        Debugger { scenario: scenario.clone(), use_mqo: true }
+        Debugger {
+            scenario: scenario.clone(),
+            use_mqo: true,
+            engine_options: EngineOptions::default(),
+        }
     }
 
     fn setup(&self) -> BacktestSetup {
@@ -129,6 +137,7 @@ impl Debugger {
             workload: std::sync::Arc::new(self.scenario.workload.clone()),
             config: self.scenario.sim.clone(),
             proactive_routes: false,
+            engine: self.engine_options.clone(),
         }
     }
 
@@ -140,7 +149,7 @@ impl Debugger {
         let mut ctrl = NdlogController::with_options(
             self.scenario.program.clone(),
             self.scenario.codec.clone(),
-            EngineOptions::default(),
+            self.engine_options.clone(),
         )
         .map_err(|e| e.to_string())?;
         ctrl.seed(self.scenario.seeds.clone()).map_err(|e| e.to_string())?;

@@ -745,6 +745,7 @@ mod tests {
             workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
+            engine: mpr_runtime::Options::default(),
         };
         let out = replay(&setup, &s.program).unwrap();
         // H2 receives nothing (the symptom) …
@@ -776,6 +777,7 @@ mod tests {
             workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
+            engine: mpr_runtime::Options::default(),
         };
         let out = replay(&setup, &fixed).unwrap();
         assert!(out.stats.delivered_on(fig1_hosts::H2, 80) > 0, "{:?}", out.stats.delivered);
@@ -793,6 +795,7 @@ mod tests {
             workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
+            engine: mpr_runtime::Options::default(),
         };
         let out = replay(&setup, &s.program).unwrap();
         // 40 packets; S1's PacketOut saves the first at S1, but S2 has no
@@ -813,6 +816,7 @@ mod tests {
             workload: Arc::new(s.workload.clone()),
             config: s.sim.clone(),
             proactive_routes: false,
+            engine: mpr_runtime::Options::default(),
         };
         let out = replay(&setup, &s.program).unwrap();
         // DNS background flows via the static rules; nothing learned-based

@@ -11,7 +11,11 @@
 //! - [`graph::explain_exist`] — "why does this tuple exist?" (positive);
 //! - [`graph::explain_absent`] — "why is this tuple missing?" (negative,
 //!   diagnosis-flavored: all failing rules are explained);
-//! - [`graph::ProvTree`] — rendering (ASCII / GraphViz DOT).
+//! - [`graph::ProvTree`] — rendering (ASCII / GraphViz DOT);
+//! - [`graph::ProvGraph`] — explanation forests flattened to a canonical
+//!   (sorted, deduplicated) graph whose byte serialization is identical
+//!   for identical states, persistable through any
+//!   `mpr_storage::StorageBackend`.
 //!
 //! Classical provenance can *diagnose* but not *repair* (§2.4): the graph
 //! treats the program as immutable. The meta-provenance layer in
@@ -24,6 +28,6 @@ pub mod vertex;
 
 pub use graph::{
     derivation_set, explain_absent, explain_absent_with, explain_exist, explain_exist_with,
-    ExplainOptions, ProvTree,
+    ExplainOptions, ProvGraph, ProvTree, GRAPH_SNAPSHOT_VERSION,
 };
 pub use vertex::{Pattern, Vertex};

@@ -371,6 +371,10 @@ impl Engine {
             // usable for inspection after a derivation-limit abort.
             self.deltas.end_round();
             outcome?;
+            // Round boundary: push this round's journaled store mutations
+            // to the OS, bounding what a mid-fixpoint crash can lose to at
+            // most one round of buffered ops.
+            self.store.journal_flush();
             std::mem::swap(&mut pending, &mut round_out);
             round_out.clear();
         }

@@ -145,6 +145,108 @@ impl std::fmt::Display for EvalStrategy {
     }
 }
 
+/// Where (and whether) the tuple store journals its mutations.
+///
+/// [`Durability::Mem`] is the zero-cost default — exactly the
+/// pre-durability engine. [`Durability::Wal`] attaches an
+/// [`mpr_storage::WalBackend`] journal to the store: every effectful store
+/// mutation is appended as a checksummed record, compacted periodically
+/// into snapshots, and replayable after a crash via
+/// [`crate::store::Store::recover`]. A WAL that fails to open or write
+/// never takes evaluation down; the engine degrades to memory-only and
+/// reports it through [`Engine::durability_degraded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Durability {
+    /// In-memory only: no journal, no recovery, no overhead.
+    Mem,
+    /// Write-ahead log under the configured directory.
+    Wal(WalOptions),
+}
+
+/// Configuration for [`Durability::Wal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Parent directory for WAL state. Every engine journals into its own
+    /// `engine-<n>` subdirectory (a process-wide counter), so concurrently
+    /// built engines never share a log; [`Engine::wal_dir`] reports the
+    /// resolved path.
+    pub dir: std::path::PathBuf,
+    /// fsync on every flush (off by default; see
+    /// [`mpr_storage::WalConfig::fsync`]).
+    pub fsync: bool,
+    /// Install a compacted snapshot every this many journaled ops
+    /// (0 = never compact).
+    pub compact_every: usize,
+}
+
+impl WalOptions {
+    /// WAL under `dir` with defaults: no fsync, compaction every 4096 ops.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        WalOptions { dir: dir.into(), fsync: false, compact_every: 4096 }
+    }
+}
+
+/// Env-derived durability default, resolved exactly once per process (same
+/// pattern as the [`EvalStrategy`] default).
+static DURABILITY_ENV_DEFAULT: OnceLock<Durability> = OnceLock::new();
+
+/// Process-wide counter handing each WAL-journaled engine its own subdir.
+static WAL_ENGINE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Durability {
+    /// The process-wide default used by [`Options::default`]: the
+    /// `MPR_DURABILITY` environment variable (`mem`, `wal`, or
+    /// `wal:<dir>` — see the [`std::str::FromStr`] impl), falling back to
+    /// [`Durability::Mem`].
+    pub fn global_default() -> Durability {
+        DURABILITY_ENV_DEFAULT
+            .get_or_init(|| {
+                std::env::var("MPR_DURABILITY")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(Durability::Mem)
+            })
+            .clone()
+    }
+}
+
+impl Default for Durability {
+    fn default() -> Self {
+        Durability::global_default()
+    }
+}
+
+impl std::fmt::Display for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Durability::Mem => write!(f, "mem"),
+            Durability::Wal(w) => write!(f, "wal:{}", w.dir.display()),
+        }
+    }
+}
+
+impl std::str::FromStr for Durability {
+    type Err = String;
+
+    /// Parse the `MPR_DURABILITY` syntax: `mem`, `wal:<dir>` / `wal=<dir>`,
+    /// or bare `wal` (logs under the OS temp directory).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("mem") {
+            return Ok(Durability::Mem);
+        }
+        if t.eq_ignore_ascii_case("wal") {
+            return Ok(Durability::Wal(WalOptions::new(std::env::temp_dir().join("mpr-wal"))));
+        }
+        if let Some(rest) = t.strip_prefix("wal:").or_else(|| t.strip_prefix("wal=")) {
+            if !rest.is_empty() {
+                return Ok(Durability::Wal(WalOptions::new(rest)));
+            }
+        }
+        Err(format!("unknown durability mode `{s}`"))
+    }
+}
+
 impl std::str::FromStr for EvalStrategy {
     type Err = String;
 
@@ -314,6 +416,10 @@ pub struct Options {
     /// panics immediately, forcing the contained-panic fallback path.
     #[doc(hidden)]
     pub inject_worker_panic: bool,
+    /// Whether the tuple store journals mutations durably (see
+    /// [`Durability`]). Defaults to the `MPR_DURABILITY` env setting,
+    /// falling back to [`Durability::Mem`].
+    pub durability: Durability,
 }
 
 impl Default for Options {
@@ -327,6 +433,7 @@ impl Default for Options {
             max_rounds: 1_000_000,
             time_budget: None,
             inject_worker_panic: false,
+            durability: Durability::default(),
         }
     }
 }
@@ -385,7 +492,7 @@ pub struct Engine {
     /// Shared so the drain loops can hold a table's list across `&mut self`
     /// firing calls without copying it per delta tuple.
     pub(crate) triggers: HashMap<String, std::sync::Arc<Vec<(usize, usize)>>>,
-    store: Store,
+    pub(crate) store: Store,
     pub(crate) log: ExecLog,
     pub(crate) opts: Options,
     funcs: CountingFuncs,
@@ -421,6 +528,12 @@ pub struct Engine {
     /// affected units were recomputed sequentially). Atomic because the
     /// workers only hold `&Engine`.
     pub(crate) shard_panics: std::sync::atomic::AtomicU64,
+    /// Resolved WAL directory when the store journals durably.
+    wal_dir: Option<std::path::PathBuf>,
+    /// Why the WAL failed to *open* (runtime write failures live in the
+    /// store's journal instead; [`Engine::durability_degraded`] merges
+    /// both).
+    wal_open_error: Option<String>,
 }
 
 /// Does `e` contain any function call? Calls in *selections* would have to
@@ -555,6 +668,27 @@ impl Engine {
         } else {
             (Vec::new(), IndexRegistry::default(), HashMap::new())
         };
+        // Attach the durability journal last, after every schema (catalog
+        // and synthesized aggregate keys) is declared, so replay keys
+        // tables exactly as this engine did. A WAL that cannot open
+        // degrades to memory-only instead of failing construction.
+        let mut wal_dir = None;
+        let mut wal_open_error = None;
+        if let Durability::Wal(w) = &opts.durability {
+            let dir = w
+                .dir
+                .join(format!("engine-{}", WAL_ENGINE_SEQ.fetch_add(1, Ordering::Relaxed)));
+            match mpr_storage::WalBackend::open(mpr_storage::WalConfig {
+                dir: dir.clone(),
+                fsync: w.fsync,
+            }) {
+                Ok(backend) => {
+                    store.attach_journal(Box::new(backend), w.compact_every);
+                    wal_dir = Some(dir);
+                }
+                Err(e) => wal_open_error = Some(format!("open {}: {e}", dir.display())),
+            }
+        }
         Ok(Engine {
             rules,
             triggers: triggers
@@ -580,6 +714,8 @@ impl Engine {
             par_safe,
             shard_min_round,
             shard_panics: std::sync::atomic::AtomicU64::new(0),
+            wal_dir,
+            wal_open_error,
         })
     }
 
@@ -625,6 +761,27 @@ impl Engine {
     /// on the sequential path; the fixpoint is unaffected.
     pub fn shard_worker_panics(&self) -> u64 {
         self.shard_panics.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The tuple store (read-only; mutations go through the engine so
+    /// provenance and durability stay consistent).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The directory this engine's WAL journal lives in, when the store
+    /// journals durably ([`Durability::Wal`]) and the log opened cleanly.
+    pub fn wal_dir(&self) -> Option<&std::path::Path> {
+        self.wal_dir.as_deref()
+    }
+
+    /// Why durability shut itself off, if it did: either the WAL failed to
+    /// open at construction, or a later write failed and the store's
+    /// journal degraded to memory-only. `None` = healthy (or `Mem` mode).
+    pub fn durability_degraded(&self) -> Option<String> {
+        self.wal_open_error
+            .clone()
+            .or_else(|| self.store.durability_degraded().map(str::to_string))
     }
 
     /// `true` if the exact tuple is currently live.
@@ -676,6 +833,7 @@ impl Engine {
             queue.push_back((tid, tuple));
         }
         self.drain(queue, &mut result)?;
+        self.store.journal_flush();
         Ok(result)
     }
 
@@ -711,6 +869,7 @@ impl Engine {
                 self.kill(tid, tuple.clone(), &mut result)?;
             }
         }
+        self.store.journal_flush();
         Ok(result)
     }
 

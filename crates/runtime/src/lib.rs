@@ -28,16 +28,21 @@
 #![warn(missing_docs)]
 
 pub(crate) mod batch;
+pub mod codec;
 pub mod delta;
 pub mod engine;
 pub mod index;
+pub mod journal;
 pub mod log;
 pub mod naive;
 pub mod shard;
 pub mod store;
 
 pub use delta::{DeltaTracker, RelationDeltaStats};
-pub use engine::{CompileError, Engine, EvalStrategy, Options, RuntimeError, StepResult};
+pub use engine::{
+    CompileError, Durability, Engine, EvalStrategy, Options, RuntimeError, StepResult, WalOptions,
+};
 pub use index::{Col, IndexRegistry, IndexSpec};
+pub use journal::{StoreOp, StoreRecovery};
 pub use log::{ExecEvent, ExecLog, Time, TupleId, TupleKind, TupleRecord};
 pub use store::{AddOutcome, DropOutcome, LiveTuple, Store};

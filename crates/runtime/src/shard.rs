@@ -49,7 +49,11 @@ use std::hash::{Hash, Hasher};
 /// Everything the scoped workers share is a plain borrow of the engine, so
 /// the engine itself must be shareable across threads. This holds because
 /// the crate is `Rc`/`RefCell`-free — enforce it at compile time so a
-/// future interior-mutability field fails here, not in a race.
+/// future interior-mutability field fails here, not in a race. The store's
+/// durability journal rides along: `StorageBackend` is `Send + Sync` by
+/// trait bound, and only the sequential apply loop ever appends (workers
+/// hold `&Engine`, and every journal write needs `&mut Store`), so a
+/// journaled engine shards exactly like a memory-only one.
 const _: fn() = || {
     fn requires_send_sync<T: Send + Sync>() {}
     requires_send_sync::<Engine>();

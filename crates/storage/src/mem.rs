@@ -1,0 +1,100 @@
+//! In-memory backend: today's behavior, the zero-cost default.
+//!
+//! Records live in a `Vec`; recovery hands back exactly what was appended.
+//! Beyond being the default, this backend is the *oracle* of the recovery
+//! tests: priming one with the first `k` records of a torn WAL and
+//! replaying it must reproduce the recovered store bit-for-bit
+//! (prefix consistency).
+
+use crate::{Recovered, Recovery, StorageBackend, StorageError};
+
+/// Volatile record buffer implementing [`StorageBackend`].
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    snapshot: Option<Vec<u8>>,
+    records: Vec<Vec<u8>>,
+    wal_bytes: u64,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A backend pre-seeded with a recovered state — used by the recovery
+    /// harness to replay a record prefix through fresh store logic.
+    pub fn primed(snapshot: Option<Vec<u8>>, records: Vec<Vec<u8>>) -> Self {
+        let wal_bytes = records.iter().map(|r| r.len() as u64).sum();
+        MemBackend { snapshot, records, wal_bytes }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn append(&mut self, record: &[u8]) -> Result<u64, StorageError> {
+        let seq = self.records.len() as u64;
+        self.wal_bytes += record.len() as u64;
+        self.records.push(record.to_vec());
+        Ok(seq)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StorageError> {
+        self.snapshot = Some(snapshot.to_vec());
+        self.records.clear();
+        self.wal_bytes = 0;
+        Ok(())
+    }
+
+    fn recover(&mut self) -> Result<Recovered, StorageError> {
+        Ok(Recovered {
+            snapshot: self.snapshot.clone(),
+            records: self.records.clone(),
+            status: Recovery::Clean,
+        })
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let mut b = MemBackend::new();
+        assert_eq!(b.append(b"one").unwrap(), 0);
+        assert_eq!(b.append(b"two").unwrap(), 1);
+        let r = b.recover().unwrap();
+        assert!(r.status.is_clean());
+        assert_eq!(r.snapshot, None);
+        assert_eq!(r.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(b.wal_bytes(), 6);
+    }
+
+    #[test]
+    fn snapshot_resets_the_wal() {
+        let mut b = MemBackend::new();
+        b.append(b"old").unwrap();
+        b.install_snapshot(b"snap").unwrap();
+        b.append(b"new").unwrap();
+        let r = b.recover().unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(&b"snap"[..]));
+        assert_eq!(r.records, vec![b"new".to_vec()]);
+        assert_eq!(b.record_count(), 1);
+    }
+}

@@ -65,6 +65,7 @@ fn accepted_repairs_actually_heal_the_network() {
         workload: scenario.workload.clone().into(),
         config: scenario.sim.clone(),
         proactive_routes: false,
+        engine: sdn_meta_repair::runtime::Options::default(),
     };
     for &i in &report.accepted {
         let candidate = &report.outcomes[i].candidate;
